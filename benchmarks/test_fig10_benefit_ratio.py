@@ -1,0 +1,70 @@
+"""Fig. 10: the benefit ratio of GPU compression grows with tensor size.
+
+Benefit ratio = (communication time saved by compressing) divided by
+(compression + decompression time incurred), for a lone tensor on the
+64-GPU NVLink testbed.  The constant kernel-launch overhead makes GPU
+compression a net loss for small tensors and increasingly profitable for
+large ones — the basis of Property #2's size-descending ordering.
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.cluster import nvlink_100g_cluster
+from repro.compression import DGC
+from repro.core.options import Device
+from repro.core.plan import PlanCompiler
+from repro.core.presets import inter_alltoall_option
+from repro.core.options import no_compression_option
+from repro.profiling import v100_gpu, xeon_cpu
+from repro.utils import KB, MB, format_bytes, render_table
+
+SIZES = [16 * KB, 64 * KB, 256 * KB, MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB]
+
+
+@functools.lru_cache(maxsize=1)
+def compute_ratios():
+    compiler = PlanCompiler(
+        cluster=nvlink_100g_cluster(),
+        compressor=DGC(ratio=0.01),
+        gpu=v100_gpu(),
+        cpu=xeon_cpu(),
+    )
+    plain_option = no_compression_option()
+    # The divisible compressed scheme has the same latency rounds as the
+    # FP32 allreduce, so the saved communication is purely the bandwidth
+    # term (proportional to size) while the incurred compression cost has
+    # a constant kernel-launch floor — the paper's Fig. 10 mechanism.
+    gpu_option = inter_alltoall_option(Device.GPU)
+    ratios = []
+    for nbytes in SIZES:
+        elements = nbytes // 4
+        plain = sum(
+            s.duration for s in compiler.stages(plain_option, elements)
+        )
+        stages = compiler.stages(gpu_option, elements)
+        comm = sum(s.duration for s in stages if s.kind == "comm")
+        comp = sum(s.duration for s in stages if s.kind != "comm")
+        ratios.append((nbytes, (plain - comm) / comp))
+    return ratios
+
+
+def test_fig10_benefit_ratio(benchmark):
+    ratios = compute_ratios()
+    benchmark(compute_ratios)
+
+    emit(
+        "fig10_benefit_ratio",
+        render_table(
+            ["tensor size", "benefit ratio"],
+            [(format_bytes(n), f"{r:.2f}") for n, r in ratios],
+            title="Fig. 10 — benefit ratio of GPU compression (DGC 1%, 64 GPUs)",
+        ),
+    )
+
+    values = [r for _, r in ratios]
+    # Monotonically non-decreasing in size.
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    # Small tensors lose, large tensors win: the curve crosses 1.
+    assert values[0] < 1.0
+    assert values[-1] > 1.0

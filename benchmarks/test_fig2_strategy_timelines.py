@@ -1,0 +1,63 @@
+"""Fig. 2: the same job under five compression strategies.
+
+The paper's didactic three-tensor example: (a) FP32; (b) compressing the
+late tensor helps; (c) GPU-compressing everything *hurts* relative to
+the best choice because GPU kernels contend with backprop; (d) CPU
+compression of everything behaves differently again; (e) Espresso's
+selection is the best of all.
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.cluster import pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core import Espresso
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import StrategyEvaluator
+from repro.models import three_tensor_job
+from repro.utils import render_table
+
+
+@functools.lru_cache(maxsize=1)
+def compute_timelines():
+    job = JobConfig(
+        model=three_tensor_job(),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=pcie_25g_cluster(num_machines=4)),
+    )
+    evaluator = StrategyEvaluator(job)
+    fp32 = evaluator.baseline()
+    gpu = inter_allgather_option(Device.GPU)
+    cpu = inter_allgather_option(Device.CPU)
+    strategies = {
+        "(a) no compression": fp32,
+        "(b) compress T2 (GPU)": fp32.replace(2, gpu),
+        "(c) compress all (GPU)": fp32.replace(0, gpu).replace(1, gpu).replace(2, gpu),
+        "(d) compress all (CPU)": fp32.replace(0, cpu).replace(1, cpu).replace(2, cpu),
+        "(e) Espresso": Espresso(job).select_strategy().strategy,
+    }
+    return {
+        label: evaluator.iteration_time(strategy)
+        for label, strategy in strategies.items()
+    }
+
+
+def test_fig2_strategy_timelines(benchmark):
+    times = compute_timelines()
+    benchmark(compute_timelines)
+
+    table = render_table(
+        ["Strategy", "iteration"],
+        [(label, f"{t * 1e3:.1f} ms") for label, t in times.items()],
+        title="Fig. 2 — one job, five compression strategies",
+    )
+    emit("fig2_strategy_timelines", table)
+
+    # (b) reduces the iteration time over (a).
+    assert times["(b) compress T2 (GPU)"] < times["(a) no compression"]
+    # (e) is optimal among the five.
+    assert times["(e) Espresso"] == min(times.values())
+    # Compressing everything is not optimal (over-compression penalty).
+    assert times["(e) Espresso"] < times["(c) compress all (GPU)"] + 1e-12

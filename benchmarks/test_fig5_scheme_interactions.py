@@ -1,0 +1,88 @@
+"""Fig. 5: scheme choices depend on tensor interactions.
+
+(a)/(b): with T0 compressed, the divisible scheme wins when T0's
+communication is exposed, but once T0's communication can hide behind a
+long-enough computation of T1, the indivisible scheme (fewer compression
+operations on the critical path) is at least as good — the choice flips
+with the interaction, not with the tensor alone.
+
+(c)/(d): applying GC to both intra- and inter-machine communication wins
+when computation is short, but compressing the intra phase too can lose
+to inter-only once a long computation hides the intra communication.
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.cluster import pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.options import Device
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.core.strategy import StrategyEvaluator
+from repro.models import two_tensor_job
+from repro.utils import MS, render_table
+
+
+def _iteration(t1_ms: float, option) -> float:
+    job = JobConfig(
+        model=two_tensor_job(t0_mb=256.0, t1_mb=1.0, t0_time=5 * MS,
+                             t1_time=t1_ms * MS),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=pcie_25g_cluster(num_machines=8)),
+    )
+    evaluator = StrategyEvaluator(job)
+    return evaluator.iteration_time(evaluator.baseline().replace(0, option))
+
+
+@functools.lru_cache(maxsize=1)
+def compute():
+    indivisible = inter_allgather_option(Device.GPU)
+    divisible = inter_alltoall_option(Device.GPU)
+    both = double_compression_option(Device.GPU)
+    return {
+        # Short T1 compute: T0's sync is exposed.
+        "short": {
+            "indivisible": _iteration(5, indivisible),
+            "divisible": _iteration(5, divisible),
+            "intra+inter": _iteration(5, both),
+        },
+        # Long T1 compute: T0's sync hides behind it.
+        "long": {
+            "indivisible": _iteration(400, indivisible),
+            "divisible": _iteration(400, divisible),
+            "intra+inter": _iteration(400, both),
+        },
+    }
+
+
+def test_fig5_scheme_interactions(benchmark):
+    results = compute()
+    benchmark(compute)
+
+    rows = [
+        (regime, *(f"{results[regime][k] * 1e3:.1f} ms"
+                   for k in ("indivisible", "divisible", "intra+inter")))
+        for regime in ("short", "long")
+    ]
+    emit(
+        "fig5_scheme_interactions",
+        render_table(
+            ["T1 compute", "indivisible", "divisible", "intra+inter"],
+            rows,
+            title="Fig. 5 — scheme choice depends on interactions",
+        ),
+    )
+
+    short, long = results["short"], results["long"]
+    # (a): exposed communication -> the traffic-lean schemes win.
+    assert short["divisible"] < short["indivisible"]
+    assert short["intra+inter"] <= short["divisible"] + 1e-9
+    # (b)/(d): once T1's computation hides T0's communication, the extra
+    # compression work stops paying — the scheme gaps shrink sharply.
+    gap_short = short["indivisible"] - short["intra+inter"]
+    gap_long = long["indivisible"] - long["intra+inter"]
+    assert gap_long < gap_short * 0.6

@@ -1,0 +1,88 @@
+"""Fig. 9: communication bubbles and the compression-order insights.
+
+(a) Tensors communicated before a bubble gain nothing from compression;
+(b) compressing a tensor can open a *new* bubble; (c) of two same-size
+tensors, compressing the one closer to the output layer (computed later
+in backprop) reduces the iteration more.
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.cluster import nvlink_100g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.bubbles import communication_bubbles, tensors_before_bubbles
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import StrategyEvaluator
+from repro.models import synthetic_model
+from repro.utils import MB, MS, render_table
+
+
+@functools.lru_cache(maxsize=1)
+def compute():
+    # T0 small & early; T1/T2 same size, T2 computed last (closest to the
+    # output layer per the paper's convention).
+    model = synthetic_model(
+        "fig9",
+        [
+            (int(8 * MB / 4), 2 * MS),
+            (int(96 * MB / 4), 40 * MS),
+            (int(96 * MB / 4), 10 * MS),
+        ],
+        forward_time=10 * MS,
+    )
+    job = JobConfig(
+        model=model,
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster(num_machines=8)),
+    )
+    evaluator = StrategyEvaluator(job)
+    baseline = evaluator.baseline()
+    option = inter_allgather_option(Device.GPU)
+
+    timeline = evaluator.timeline(baseline)
+    shielded = tensors_before_bubbles(timeline)
+    base_time = evaluator.iteration_time(baseline)
+    t0_time = evaluator.iteration_time(baseline.replace(0, option))
+    t1_time = evaluator.iteration_time(baseline.replace(1, option))
+    t2_time = evaluator.iteration_time(baseline.replace(2, option))
+    bubbles_after_t2 = communication_bubbles(
+        evaluator.timeline(baseline.replace(2, option))
+    )
+    return {
+        "shielded": shielded,
+        "base": base_time,
+        "compress_t0": t0_time,
+        "compress_t1": t1_time,
+        "compress_t2": t2_time,
+        "new_bubbles": bubbles_after_t2,
+    }
+
+
+def test_fig9_bubbles(benchmark):
+    r = compute()
+    benchmark(compute)
+
+    emit(
+        "fig9_bubbles",
+        render_table(
+            ["scenario", "iteration"],
+            [
+                ("baseline", f"{r['base'] * 1e3:.1f} ms"),
+                ("compress T0 (before bubble)", f"{r['compress_t0'] * 1e3:.1f} ms"),
+                ("compress T1 (same size as T2)", f"{r['compress_t1'] * 1e3:.1f} ms"),
+                ("compress T2 (closest to output)", f"{r['compress_t2'] * 1e3:.1f} ms"),
+            ],
+            title=f"Fig. 9 — bubbles rule out T0 (shielded={sorted(r['shielded'])})",
+        ),
+    )
+
+    # (a) T0 is communicated before a bubble and gains nothing.
+    assert 0 in r["shielded"]
+    assert r["compress_t0"] >= r["base"] - 1e-9
+    # (c) Compressing T2 (computed last) beats compressing T1.
+    assert r["compress_t2"] < r["compress_t1"]
+    assert r["compress_t2"] < r["base"]
+    # (b) Compressing can open new bubbles somewhere on the links.
+    assert r["new_bubbles"]

@@ -1,0 +1,73 @@
+"""Compression-ratio sensitivity study (extension beyond the paper).
+
+Sweeps DGC's sparsification ratio from 0.1% to 25% on GPT2/64 GPUs and
+records Espresso's selected strategy and throughput at each point.  The
+expected shape: throughput is highest at aggressive ratios and decays as
+the ratio grows (more traffic survives); as compression stops paying,
+Espresso compresses fewer tensors, and at ratio 1.0-equivalent cost it
+would fall back to FP32 — it never does *worse* than FP32 at any ratio,
+because "don't compress" is always in its search space.
+"""
+
+import functools
+
+from benchmarks.harness import emit, job_for
+from repro.cluster import nvlink_100g_cluster
+from repro.config import GCInfo
+from repro.core import Espresso
+from repro.utils import render_table
+
+RATIOS = (0.001, 0.01, 0.05, 0.25)
+
+
+@functools.lru_cache(maxsize=1)
+def compute_sweep():
+    rows = []
+    for ratio in RATIOS:
+        job = job_for("gpt2", GCInfo("dgc", {"ratio": ratio}), nvlink_100g_cluster())
+        result = Espresso(job).select_strategy()
+        throughput = (
+            job.model.batch_size
+            * job.system.cluster.total_gpus
+            / result.iteration_time
+        )
+        rows.append(
+            (
+                ratio,
+                throughput,
+                len(result.compressed_indices),
+                result.baseline_iteration_time,
+                result.iteration_time,
+            )
+        )
+    return rows
+
+
+def test_sensitivity_ratio(benchmark):
+    rows = compute_sweep()
+    benchmark(compute_sweep)
+
+    emit(
+        "sensitivity_ratio",
+        render_table(
+            ["DGC ratio", "Espresso tokens/s", "#compressed", "speedup vs FP32"],
+            [
+                (
+                    f"{ratio * 100:g}%",
+                    f"{throughput:,.0f}",
+                    compressed,
+                    f"{baseline / iteration:.2f}x",
+                )
+                for ratio, throughput, compressed, baseline, iteration in rows
+            ],
+            title="Sensitivity — Espresso vs DGC sparsification ratio "
+            "(GPT2, 64 GPUs, NVLink)",
+        ),
+    )
+
+    throughputs = [r[1] for r in rows]
+    # Aggressive compression is (weakly) better than mild compression.
+    assert throughputs[0] >= throughputs[-1] * 0.98
+    # Never worse than FP32 at any ratio.
+    for ratio, throughput, compressed, baseline, iteration in rows:
+        assert iteration <= baseline + 1e-12, ratio

@@ -1,0 +1,80 @@
+"""Table 1: scaling factors of naive all-tensor GC vs FP32 (64 GPUs).
+
+Paper rows (8 machines x 8 GPUs):
+
+    GPT2       NVLink+100G  FP32 0.58 | GC-GPU 0.67 (+15%) | GC-CPU 0.64 (+10%)
+    BERT-base  NVLink+100G  FP32 0.51 | GC-GPU 0.55 (+8%)  | GC-CPU 0.61 (+20%)
+    LSTM       PCIe+25G     FP32 0.46 | GC-GPU 0.43 (-6%)  | GC-CPU 0.42 (-9%)
+
+"GC with GPU/CPU" is the naive policy of §2.3/§3: compress *every*
+tensor for inter-machine communication (indivisible Allgather), on one
+device, ignoring interactions.  Shape checks: FP32 scaling factors land
+near the paper's; naive GC brings at best modest gains — nowhere near
+ideal scaling — which is the motivation for Espresso.  (Known
+divergence, recorded in EXPERIMENTS.md: the paper measures a small
+*regression* for LSTM-on-PCIe that our cost model renders as a modest
+gain instead.)
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+from repro.models import get_model
+from repro.utils import render_table
+
+ROWS = (
+    ("gpt2", GCInfo("dgc", {"ratio": 0.01}), nvlink_100g_cluster(), 0.58),
+    ("bert-base", GCInfo("efsignsgd"), nvlink_100g_cluster(), 0.51),
+    ("lstm", GCInfo("dgc", {"ratio": 0.01}), pcie_25g_cluster(), 0.46),
+)
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    results = []
+    for model_name, gc, cluster, paper_fp32 in ROWS:
+        job = JobConfig(
+            model=get_model(model_name), gc=gc, system=SystemInfo(cluster=cluster)
+        )
+        evaluator = StrategyEvaluator(job)
+        n = job.model.num_tensors
+        fp32 = evaluator.scaling_factor(evaluator.baseline())
+        gpu = evaluator.scaling_factor(
+            CompressionStrategy(options=(inter_allgather_option(Device.GPU),) * n)
+        )
+        cpu = evaluator.scaling_factor(
+            CompressionStrategy(options=(inter_allgather_option(Device.CPU),) * n)
+        )
+        results.append((model_name, cluster.interconnect, fp32, gpu, cpu, paper_fp32))
+    return results
+
+
+def test_table1_scaling_factors(benchmark):
+    rows = compute_rows()
+    benchmark(compute_rows)
+
+    table = render_table(
+        ["Model", "Networks", "FP32", "GC w/ GPU", "GC w/ CPU", "paper FP32"],
+        [
+            (m, net, f"{fp32:.2f}", f"{gpu:.2f}", f"{cpu:.2f}", f"{paper:.2f}")
+            for m, net, fp32, gpu, cpu, paper in rows
+        ],
+        title="Table 1 — scaling factors with 64 GPUs (naive all-tensor GC)",
+    )
+    emit("table1_scaling_factors", table)
+
+    by_model = {m: (fp32, gpu, cpu) for m, _, fp32, gpu, cpu, _ in rows}
+    # FP32 scaling factors match the paper within a modest margin.
+    for (model_name, _, _, paper_fp32), measured in zip(ROWS, rows):
+        assert abs(measured[2] - paper_fp32) < 0.12, model_name
+    # Naive GC is far from ideal scaling everywhere (the paper's point).
+    for fp32, gpu, cpu in by_model.values():
+        assert gpu < 0.85 and cpu < 0.85
+    # NVLink jobs: GPU-side naive GC helps, as in the paper.
+    assert by_model["gpt2"][1] > by_model["gpt2"][0]
+    assert by_model["bert-base"][1] > by_model["bert-base"][0]

@@ -1,0 +1,55 @@
+"""Table 4: characteristics of the benchmark DNN models.
+
+Paper: VGG16 528 MB / ResNet101 170 MB / UGATIT 2559 MB / BERT-base
+420 MB / GPT2 475 MB / LSTM 328 MB, with the batch sizes and datasets
+listed in the caption; Table 5 additionally fixes the tensor counts
+(32 / 314 / 148 / 207 / 148 / 10).
+"""
+
+import functools
+
+from benchmarks.harness import emit
+from repro.models import available_models, get_model
+from repro.utils import render_table
+
+PAPER = {
+    "vgg16": (528, 32, "32 images"),
+    "resnet101": (170, 314, "32 images"),
+    "ugatit": (2559, 148, "2 images"),
+    "bert-base": (420, 207, "1024 tokens"),
+    "gpt2": (475, 148, "80 tokens"),
+    "lstm": (328, 10, "80 tokens"),
+}
+
+
+@functools.lru_cache(maxsize=1)
+def build_rows():
+    return [
+        (name, get_model(name)) for name in available_models()
+    ]
+
+
+def test_table4_model_zoo(benchmark):
+    rows = benchmark(build_rows)
+    table = render_table(
+        ["Model", "Dataset", "Batch", "Size", "paper size", "#tensors"],
+        [
+            (
+                name,
+                model.dataset,
+                f"{model.batch_size} {model.sample_unit}",
+                f"{model.size_mb:.0f} MB",
+                f"{PAPER[name][0]} MB",
+                model.num_tensors,
+            )
+            for name, model in rows
+        ],
+        title="Table 4 — benchmark model characteristics",
+    )
+    emit("table4_model_zoo", table)
+
+    for name, model in rows:
+        paper_mb, paper_tensors, paper_batch = PAPER[name]
+        assert model.num_tensors == paper_tensors, name
+        assert abs(model.size_mb - paper_mb) / paper_mb < 0.06, name
+        assert paper_batch.startswith(str(model.batch_size))

@@ -1,0 +1,89 @@
+"""Table 5: time to select compression strategies, per model.
+
+Paper (8 NVLink machines): Espresso needs 1–179 ms while brute force
+needs > 24 h for every model.  Our pure-Python planner is slower than
+the paper's implementation, but the qualitative claim is the same:
+selection completes within a handful of training iterations, while the
+extrapolated |C|^N brute force is astronomical (> 24 h even for LSTM's
+10 tensors).
+"""
+
+import functools
+
+from benchmarks.harness import emit, paper_scale
+from repro.baselines.bruteforce import (
+    estimate_search_seconds,
+    measure_evaluation_seconds,
+)
+from repro.cluster import nvlink_100g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core import Espresso
+from repro.core.strategy import StrategyEvaluator
+from repro.core.tree import search_space_size
+from repro.models import available_models, get_model
+from repro.utils import format_seconds, render_table
+
+PAPER_MS = {
+    "vgg16": 17,
+    "resnet101": 179,
+    "ugatit": 84,
+    "bert-base": 125,
+    "gpt2": 99,
+    "lstm": 1,
+}
+
+
+def _models():
+    if paper_scale():
+        return list(available_models())
+    # CI scale: skip the two slowest planners (largest tensor counts).
+    return ["vgg16", "ugatit", "gpt2", "lstm"]
+
+
+@functools.lru_cache(maxsize=1)
+def compute_rows():
+    gc = GCInfo("dgc", {"ratio": 0.01})
+    cluster = nvlink_100g_cluster()
+    num_options = search_space_size("independent")
+    rows = []
+    for name in _models():
+        job = JobConfig(model=get_model(name), gc=gc, system=SystemInfo(cluster=cluster))
+        result = Espresso(job).select_strategy()
+        per_eval = measure_evaluation_seconds(StrategyEvaluator(job), samples=5)
+        brute = estimate_search_seconds(
+            job.model.num_tensors, num_options, per_eval
+        )
+        rows.append(
+            (name, job.model.num_tensors, result.selection_seconds, brute)
+        )
+    return rows
+
+
+def test_table5_selection_time(benchmark):
+    rows = compute_rows()
+    benchmark(compute_rows)
+
+    table = render_table(
+        ["Model", "#tensors", "Espresso", "paper Espresso", "Brute force (extrapolated)"],
+        [
+            (
+                name,
+                tensors,
+                format_seconds(seconds),
+                f"{PAPER_MS[name]} ms",
+                "> 24h" if brute > 24 * 3600 else format_seconds(brute),
+            )
+            for name, tensors, seconds, brute in rows
+        ],
+        title="Table 5 — time to select compression strategies",
+    )
+    emit("table5_selection_time", table)
+
+    for name, tensors, seconds, brute in rows:
+        # Espresso: tractable (well under two minutes even in Python).
+        assert seconds < 120, name
+        # Brute force: astronomically intractable for every model.
+        assert brute > 24 * 3600, name
+    # Selection time grows with tensor count (LSTM fastest).
+    by_name = {r[0]: r[2] for r in rows}
+    assert by_name["lstm"] == min(by_name.values())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: select a compression strategy for GPT2 on 64 GPUs.
+
+Builds the paper's headline configuration — GPT2 with DGC sparsification
+on 8 NVLink machines (64 V100s) over 100 Gbps Ethernet — runs Espresso's
+decision algorithm, and prints the selected per-tensor decisions next to
+FP32 and the compression baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Espresso, GCInfo, JobConfig, SystemInfo, get_model
+from repro.baselines import ALL_SYSTEMS
+from repro.cluster import nvlink_100g_cluster
+from repro.core.options import Device
+from repro.utils import render_table
+
+
+def main() -> None:
+    job = JobConfig(
+        model=get_model("gpt2"),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster(num_machines=8)),
+    )
+
+    print(f"Model: {job.model.name} — {job.model.num_tensors} tensors, "
+          f"{job.model.size_mb:.0f} MB")
+    print(f"Cluster: {job.system.cluster.total_gpus} GPUs "
+          f"({job.system.cluster.interconnect} + "
+          f"{job.system.cluster.inter_bw / 1e9 * 8:.0f} Gbps equivalent)\n")
+
+    result = Espresso(job).select_strategy()
+    print(result.summary(), "\n")
+
+    # Show the decisions for the ten largest tensors.
+    rows = []
+    order = sorted(
+        range(job.model.num_tensors),
+        key=lambda i: -job.model.tensors[i].num_elements,
+    )[:10]
+    for index in sorted(order):
+        tensor = job.model.tensors[index]
+        option = result.strategy[index]
+        if not option.compresses:
+            decision = "keep FP32"
+        else:
+            device = "CPU" if option.uses_device(Device.CPU) else "GPU"
+            scope = "intra+inter" if option.compresses_intra else "inter"
+            decision = f"compress on {device} ({scope})"
+        rows.append((tensor.name, f"{tensor.nbytes / 2**20:.1f} MB", decision))
+    print(render_table(["tensor", "size", "decision"], rows,
+                       title="Largest tensors:"))
+
+    # Compare against the baseline systems on the same simulator.
+    print()
+    rows = []
+    for system_cls in ALL_SYSTEMS:
+        r = system_cls().run(job)
+        rows.append((r.name, f"{r.throughput:,.0f} tokens/s",
+                     f"{r.scaling_factor:.2f}"))
+    print(render_table(["system", "throughput", "scaling factor"], rows,
+                       title="End-to-end comparison (64 GPUs):"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline PEP-660
+editable installs need bdist_wheel; `python setup.py develop` does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of Espresso (EuroSys 2023).
+
+"Hi-Speed DNN Training with Espresso: Unleashing the Full Potential of
+Gradient Compression with Near-Optimal Usage Strategies" (Wang, Lin, Zhu,
+Ng).
+
+Public API tour:
+
+* :class:`repro.Espresso` — the planner: give it a
+  :class:`repro.JobConfig` (model profile + GC algorithm + cluster) and
+  it selects a near-optimal per-tensor compression strategy.
+* :mod:`repro.models` — the six paper benchmark models as profiles.
+* :mod:`repro.compression` — real GC algorithms with error feedback.
+* :mod:`repro.baselines` — FP32/BytePS, HiPress, HiTopKComm,
+  BytePS-Compress, brute force, Upper Bound.
+* :mod:`repro.sim` — the deterministic DDL timeline simulator.
+* :mod:`repro.training` — numpy data-parallel SGD for convergence tests.
+* :mod:`repro.eval` — sweeps/ablations regenerating the paper's figures.
+"""
+
+from repro.cluster import (
+    ClusterSpec,
+    nvlink_100g_cluster,
+    pcie_25g_cluster,
+    single_gpu,
+)
+from repro.config import (
+    GCInfo,
+    JobConfig,
+    SystemInfo,
+    load_cluster,
+    load_gc,
+    load_job,
+    load_model,
+    save_cluster,
+    save_gc,
+    save_model,
+)
+from repro.core import (
+    CompressionOption,
+    CompressionStrategy,
+    Espresso,
+    EspressoResult,
+    StrategyEvaluator,
+    enumerate_options,
+)
+from repro.models import available_models, get_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Espresso",
+    "EspressoResult",
+    "JobConfig",
+    "GCInfo",
+    "SystemInfo",
+    "ClusterSpec",
+    "nvlink_100g_cluster",
+    "pcie_25g_cluster",
+    "single_gpu",
+    "CompressionOption",
+    "CompressionStrategy",
+    "StrategyEvaluator",
+    "enumerate_options",
+    "available_models",
+    "get_model",
+    "load_model",
+    "save_model",
+    "load_gc",
+    "save_gc",
+    "load_cluster",
+    "save_cluster",
+    "load_job",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Baseline DDL systems (§5.1): FP32/BytePS, HiPress, HiTopKComm,
+BytePS-Compress, brute force, plus Espresso and Upper Bound wrapped in
+the same interface."""
+
+from repro.baselines.base import (
+    BaselineResult,
+    BaselineSystem,
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.baselines.bruteforce import (
+    BruteForceResult,
+    brute_force_offload_search,
+    brute_force_search,
+    estimate_search_seconds,
+    measure_evaluation_seconds,
+)
+from repro.baselines.bytepscompress import BytePSCompress
+from repro.baselines.espresso_system import EspressoSystem, UpperBound
+from repro.baselines.fp32 import FP32
+from repro.baselines.hipress import HiPress
+from repro.baselines.hitopkcomm import HiTopKComm
+
+#: The five systems of the end-to-end figures, in plot order.
+ALL_SYSTEMS = (FP32, BytePSCompress, HiTopKComm, HiPress, EspressoSystem)
+
+__all__ = [
+    "BaselineSystem",
+    "BaselineResult",
+    "FP32",
+    "HiPress",
+    "HiTopKComm",
+    "BytePSCompress",
+    "EspressoSystem",
+    "UpperBound",
+    "ALL_SYSTEMS",
+    "inter_allgather_option",
+    "inter_alltoall_option",
+    "double_compression_option",
+    "brute_force_search",
+    "brute_force_offload_search",
+    "BruteForceResult",
+    "estimate_search_seconds",
+    "measure_evaluation_seconds",
+]

@@ -1,0 +1,56 @@
+"""Shared scaffolding for the compression-enabled DDL baselines (§5.1).
+
+Each baseline is a *strategy selector*: it maps a training job to a
+:class:`~repro.core.strategy.CompressionStrategy` using its own (narrower)
+search space, and is then evaluated on exactly the same timeline
+simulator as Espresso — the apples-to-apples comparison of Figs. 12/13.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.config import JobConfig
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A baseline's selected strategy and its simulated performance."""
+
+    name: str
+    strategy: CompressionStrategy
+    iteration_time: float
+    throughput: float
+    scaling_factor: float
+
+
+class BaselineSystem(abc.ABC):
+    """A DDL system with a fixed compression policy."""
+
+    #: System name as it appears in the paper's figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        """Choose this system's compression strategy for the job."""
+
+    def run(self, job: JobConfig) -> BaselineResult:
+        """Select and evaluate the strategy on the shared simulator."""
+        evaluator = StrategyEvaluator(job)
+        strategy = self.select_strategy(evaluator)
+        iteration = evaluator.iteration_time(strategy)
+        return BaselineResult(
+            name=self.name,
+            strategy=strategy,
+            iteration_time=iteration,
+            throughput=evaluator.throughput(strategy),
+            scaling_factor=evaluator.scaling_factor(strategy),
+        )

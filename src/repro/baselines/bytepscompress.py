@@ -1,0 +1,25 @@
+"""BytePS-Compress baseline (Zhong et al. 2021).
+
+BytePS's compression support uses **CPUs only** (the gradients already
+traverse host memory in its parameter-server architecture), compresses
+for inter-machine communication only, and applies GC to every tensor,
+ignoring interactions among tensors (§6).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem, inter_allgather_option
+from repro.core.options import Device
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+class BytePSCompress(BaselineSystem):
+    """CPU compression of every tensor; indivisible Allgather scheme."""
+
+    name = "BytePS-Compress"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        option = inter_allgather_option(Device.CPU)
+        return CompressionStrategy(
+            options=(option,) * evaluator.model.num_tensors
+        )

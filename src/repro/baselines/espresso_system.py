@@ -1,0 +1,61 @@
+"""Espresso wrapped in the baseline-system interface, plus Upper Bound.
+
+Having Espresso and the Upper Bound behave like just another
+:class:`~repro.baselines.base.BaselineSystem` keeps the end-to-end
+benchmark harness (Figs. 12/13/14) symmetric across all five schemes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, BaselineSystem
+from repro.config import JobConfig
+from repro.core.bounds import upper_bound_iteration_time
+from repro.core.espresso import Espresso
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+class EspressoSystem(BaselineSystem):
+    """Espresso's near-optimal strategy selection (Algorithms 1 + 2)."""
+
+    name = "Espresso"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        raise NotImplementedError("EspressoSystem overrides run() directly")
+
+    def run(self, job: JobConfig) -> BaselineResult:
+        result = Espresso(job).select_strategy()
+        model = job.model
+        return BaselineResult(
+            name=self.name,
+            strategy=result.strategy,
+            iteration_time=result.iteration_time,
+            throughput=model.batch_size
+            * job.system.cluster.total_gpus
+            / result.iteration_time,
+            scaling_factor=model.iteration_compute_time / result.iteration_time,
+        )
+
+
+class UpperBound(BaselineSystem):
+    """The free-compression bound of §5.1 (no strategy of its own)."""
+
+    name = "Upper Bound"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        raise NotImplementedError("UpperBound overrides run() directly")
+
+    def run(self, job: JobConfig) -> BaselineResult:
+        iteration = upper_bound_iteration_time(job)
+        model = job.model
+        return BaselineResult(
+            name=self.name,
+            strategy=CompressionStrategy(
+                options=(StrategyEvaluator(job).baseline()[0],)
+                * model.num_tensors
+            ),
+            iteration_time=iteration,
+            throughput=model.batch_size
+            * job.system.cluster.total_gpus
+            / iteration,
+            scaling_factor=model.iteration_compute_time / iteration,
+        )

@@ -1,0 +1,19 @@
+"""BytePS-style FP32 baseline: highly optimized DDL without compression."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+class FP32(BaselineSystem):
+    """No compression; hierarchical reduce-scatter / allreduce / allgather.
+
+    This is the paper's "FP32" / BytePS reference point: wait-free
+    backpropagation with hierarchical communication, no GC.
+    """
+
+    name = "FP32"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        return evaluator.baseline()

@@ -1,0 +1,41 @@
+"""HiPress baseline (Bai et al., SOSP'21).
+
+HiPress compresses with **GPUs only**, for **inter-machine communication
+only**, and decides whether to compress a tensor with its *selective
+compression* mechanism: compare the wall-clock communication time saved
+against the wall-clock compression time incurred, tensor by tensor —
+i.e. using tau_comm / tau_comp, not the overheads o_comm / o_comp, and
+ignoring interactions among tensors (§6, and the Reason #1 discussion of
+§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem, inter_allgather_option
+from repro.core.options import Device
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+class HiPress(BaselineSystem):
+    """GPU compression, inter-machine only, wall-clock selective compression."""
+
+    name = "HiPress"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        compiler = evaluator.compiler
+        baseline = evaluator.baseline()
+        option = inter_allgather_option(Device.GPU)
+        strategy = baseline
+        for index, tensor in enumerate(evaluator.model.tensors):
+            plain = sum(
+                s.duration
+                for s in compiler.stages(baseline[index], tensor.num_elements)
+            )
+            compressed_stages = compiler.stages(option, tensor.num_elements)
+            comm = sum(s.duration for s in compressed_stages if s.kind == "comm")
+            comp = sum(s.duration for s in compressed_stages if s.kind != "comm")
+            # Selective compression: compress when the wall-clock saving
+            # in communication exceeds the wall-clock compression cost.
+            if plain - comm > comp:
+                strategy = strategy.replace(index, option)
+        return strategy

@@ -1,0 +1,25 @@
+"""HiTopKComm baseline (Shi et al., MLSys'21).
+
+HiTopKComm designs a dedicated communication scheme for sparsified
+gradients but compresses **all** tensors with GPUs for inter-machine
+communication — the paper's example of prohibitive over-compression
+(§6; Fig. 13(c) shows it losing badly on compute-bound models).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem, inter_alltoall_option
+from repro.core.options import Device
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+class HiTopKComm(BaselineSystem):
+    """GPU compression of every tensor; divisible Alltoall-based scheme."""
+
+    name = "HiTopKComm"
+
+    def select_strategy(self, evaluator: StrategyEvaluator) -> CompressionStrategy:
+        option = inter_alltoall_option(Device.GPU)
+        return CompressionStrategy(
+            options=(option,) * evaluator.model.num_tensors
+        )

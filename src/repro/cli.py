@@ -1,0 +1,176 @@
+"""Command-line interface: plan a compression strategy from the shell.
+
+Examples::
+
+    python -m repro plan --model gpt2 --gc dgc --ratio 0.01 \\
+        --testbed nvlink --machines 8
+    python -m repro compare --model lstm --gc efsignsgd --testbed pcie
+    python -m repro models
+    python -m repro options --mode uniform
+
+``plan`` also accepts the paper's three config files instead of names::
+
+    python -m repro plan --model-config model.json --gc-config gc.json \\
+        --system-config system.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import ALL_SYSTEMS, UpperBound
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import (
+    GCInfo,
+    JobConfig,
+    SystemInfo,
+    load_cluster,
+    load_gc,
+    load_model,
+)
+from repro.core import Espresso
+from repro.core.options import Device
+from repro.core.tree import search_space_size
+from repro.models import available_models, get_model
+from repro.utils import format_bytes, render_table
+
+
+def _build_job(args: argparse.Namespace) -> JobConfig:
+    if args.model_config:
+        model = load_model(args.model_config)
+    else:
+        model = get_model(args.model)
+    if args.gc_config:
+        gc = load_gc(args.gc_config)
+    else:
+        params = {}
+        if args.ratio is not None:
+            params["ratio"] = args.ratio
+        gc = GCInfo(args.gc, params)
+    if args.system_config:
+        cluster = load_cluster(args.system_config)
+    else:
+        factory = nvlink_100g_cluster if args.testbed == "nvlink" else pcie_25g_cluster
+        cluster = factory(num_machines=args.machines, gpus_per_machine=args.gpus)
+    return JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+
+
+def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="gpt2", choices=available_models())
+    parser.add_argument("--gc", default="dgc", help="compression algorithm name")
+    parser.add_argument("--ratio", type=float, default=None,
+                        help="sparsification ratio (for randomk/topk/dgc)")
+    parser.add_argument("--testbed", default="nvlink", choices=("nvlink", "pcie"))
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--gpus", type=int, default=8, help="GPUs per machine")
+    parser.add_argument("--model-config", default=None,
+                        help="model-information JSON (overrides --model)")
+    parser.add_argument("--gc-config", default=None,
+                        help="GC-information JSON (overrides --gc/--ratio)")
+    parser.add_argument("--system-config", default=None,
+                        help="system-information JSON (overrides --testbed)")
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    job = _build_job(args)
+    result = Espresso(job).select_strategy()
+    print(result.summary())
+    print()
+    rows = []
+    for index in result.compressed_indices:
+        tensor = job.model.tensors[index]
+        option = result.strategy[index]
+        device = "CPU" if option.uses_device(Device.CPU) else "GPU"
+        scope = "intra+inter" if option.compresses_intra else (
+            "inter" if option.compresses_inter else "intra"
+        )
+        rows.append((tensor.name, format_bytes(tensor.nbytes), device, scope))
+    if rows:
+        print(render_table(["tensor", "size", "device", "scope"], rows,
+                           title="Compressed tensors:"))
+    else:
+        print("No tensor benefits from compression on this job.")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    job = _build_job(args)
+    rows = []
+    systems = list(ALL_SYSTEMS)
+    if args.upper_bound:
+        systems.append(UpperBound)
+    for system_cls in systems:
+        result = system_cls().run(job)
+        rows.append(
+            (
+                result.name,
+                f"{result.throughput:,.0f} {job.model.sample_unit}/s",
+                f"{result.scaling_factor:.2f}",
+            )
+        )
+    print(render_table(["system", "throughput", "scaling factor"], rows,
+                       title=f"{job.model.name} + {job.gc.algorithm}, "
+                             f"{job.system.cluster.total_gpus} GPUs"))
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_models():
+        model = get_model(name)
+        rows.append(
+            (
+                name,
+                model.num_tensors,
+                format_bytes(model.total_bytes),
+                f"{model.batch_size} {model.sample_unit}",
+                model.dataset,
+            )
+        )
+    print(render_table(["model", "#tensors", "size", "batch", "dataset"], rows))
+    return 0
+
+
+def cmd_options(args: argparse.Namespace) -> int:
+    size = search_space_size(args.mode)
+    print(f"|C| = {size} compression options (mode={args.mode})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Espresso (EuroSys'23) reproduction: near-optimal "
+        "gradient-compression usage strategies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="select a compression strategy")
+    _add_job_arguments(plan)
+    plan.set_defaults(func=cmd_plan)
+
+    compare = sub.add_parser("compare", help="compare all systems on a job")
+    _add_job_arguments(compare)
+    compare.add_argument("--upper-bound", action="store_true",
+                         help="also compute the free-compression bound")
+    compare.set_defaults(func=cmd_compare)
+
+    models = sub.add_parser("models", help="list the benchmark models")
+    models.set_defaults(func=cmd_models)
+
+    options = sub.add_parser("options", help="report the search-space size")
+    options.add_argument("--mode", default="independent",
+                         choices=("uniform", "independent", "gpu", "cpu"))
+    options.set_defaults(func=cmd_options)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

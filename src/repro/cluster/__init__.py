@@ -1,0 +1,19 @@
+"""Cluster topology: machines, GPUs, and link bandwidths.
+
+The paper's two testbeds (NVLink machines on 100 Gbps Ethernet; PCIe-only
+machines on 25 Gbps Ethernet) are provided as presets.
+"""
+
+from repro.cluster.topology import (
+    ClusterSpec,
+    nvlink_100g_cluster,
+    pcie_25g_cluster,
+    single_gpu,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "nvlink_100g_cluster",
+    "pcie_25g_cluster",
+    "single_gpu",
+]

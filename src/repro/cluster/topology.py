@@ -1,0 +1,129 @@
+"""Cluster topology description.
+
+A :class:`ClusterSpec` captures exactly the "training system information"
+input of the paper (Fig. 6): the number of GPU machines, the number of GPUs
+per machine, and the network bandwidth of both intra- and inter-machine
+communication.  Latency terms feed the alpha part of the alpha-beta
+collective cost models in :mod:`repro.comm`.
+
+All bandwidths are bytes/second and all latencies are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.units import GbpsToBytesPerSec, US
+from repro.utils.validation import check_non_negative, check_positive
+
+#: NVLink 2.0 gives each V100 ~1.2 Tbit/s aggregate GPU-GPU bandwidth
+#: (paper footnote 1).
+_NVLINK_GBPS = 1200.0
+#: PCIe 3.0 x16 provides roughly 100 Gbit/s (paper footnote 1) — but a
+#: collective among 8 GPUs sharing PCIe switches and the root complex
+#: sustains only a fraction of a single link's line rate.  Table 1's
+#: observation that inter-machine-only GC barely helps the PCIe testbed
+#: (the intra-machine network stays a bottleneck, §5.2.3) pins the
+#: effective intra bandwidth well below 12.5 GB/s.
+_PCIE3_X16_GBPS = 100.0
+_PCIE_COLLECTIVE_EFFICIENCY = 0.35
+#: Fraction of Ethernet line rate achievable by TCP/IP gradient traffic.
+#: The paper's testbeds use TCP over 100/25 Gbps Ethernet; sustained
+#: goodput of TCP tensor transfers is well below line rate, and the
+#: paper's reported FP32 scaling factors (Table 1) are only reproducible
+#: with an effective NIC bandwidth around two thirds of line rate.
+_TCP_EFFICIENCY = 0.68
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster for synchronous data-parallel training.
+
+    Attributes:
+        num_machines: number of GPU machines (N in the paper).
+        gpus_per_machine: GPUs per machine (k in the paper).
+        intra_bw: per-GPU intra-machine interconnect bandwidth, bytes/s.
+        inter_bw: per-machine NIC bandwidth, bytes/s.
+        intra_latency: per-communication-round latency inside a machine, s.
+        inter_latency: per-communication-round latency across machines, s.
+        interconnect: human-readable name of the intra-machine fabric.
+    """
+
+    num_machines: int
+    gpus_per_machine: int
+    intra_bw: float
+    inter_bw: float
+    intra_latency: float = 3 * US
+    inter_latency: float = 15 * US
+    interconnect: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
+        if self.gpus_per_machine < 1:
+            raise ValueError(
+                f"gpus_per_machine must be >= 1, got {self.gpus_per_machine}"
+            )
+        check_positive("intra_bw", self.intra_bw)
+        check_positive("inter_bw", self.inter_bw)
+        check_non_negative("intra_latency", self.intra_latency)
+        check_non_negative("inter_latency", self.inter_latency)
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPUs in the cluster (n in the paper)."""
+        return self.num_machines * self.gpus_per_machine
+
+    @property
+    def is_distributed(self) -> bool:
+        """True when gradient synchronization is needed at all."""
+        return self.total_gpus > 1
+
+    @property
+    def has_intra_phase(self) -> bool:
+        """True when hierarchical communication has intra-machine phases."""
+        return self.gpus_per_machine > 1
+
+    @property
+    def has_inter_phase(self) -> bool:
+        """True when there is inter-machine communication."""
+        return self.num_machines > 1
+
+    def with_machines(self, num_machines: int) -> "ClusterSpec":
+        """Return a copy scaled to ``num_machines`` machines."""
+        return replace(self, num_machines=num_machines)
+
+
+def nvlink_100g_cluster(
+    num_machines: int = 8, gpus_per_machine: int = 8
+) -> ClusterSpec:
+    """The paper's first testbed: NVLink machines, 100 Gbps Ethernet."""
+    return ClusterSpec(
+        num_machines=num_machines,
+        gpus_per_machine=gpus_per_machine,
+        intra_bw=GbpsToBytesPerSec(_NVLINK_GBPS),
+        inter_bw=GbpsToBytesPerSec(100.0) * _TCP_EFFICIENCY,
+        interconnect="nvlink",
+    )
+
+
+def pcie_25g_cluster(num_machines: int = 8, gpus_per_machine: int = 8) -> ClusterSpec:
+    """The paper's second testbed: PCIe-only machines, 25 Gbps Ethernet."""
+    return ClusterSpec(
+        num_machines=num_machines,
+        gpus_per_machine=gpus_per_machine,
+        intra_bw=GbpsToBytesPerSec(_PCIE3_X16_GBPS) * _PCIE_COLLECTIVE_EFFICIENCY,
+        inter_bw=GbpsToBytesPerSec(25.0) * _TCP_EFFICIENCY,
+        interconnect="pcie",
+    )
+
+
+def single_gpu() -> ClusterSpec:
+    """A one-GPU "cluster", used to measure the single-device throughput T."""
+    return ClusterSpec(
+        num_machines=1,
+        gpus_per_machine=1,
+        intra_bw=GbpsToBytesPerSec(_NVLINK_GBPS),
+        inter_bw=GbpsToBytesPerSec(100.0),
+        interconnect="none",
+    )

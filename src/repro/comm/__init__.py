@@ -1,0 +1,15 @@
+"""Collective-communication cost models (alpha-beta, Thakur et al.).
+
+The paper's communication time models "follow the model analysis in the
+literature [48, 65]" (§4.3); this package provides exactly those models
+for every routine in the paper's Table 2, parameterized by participants,
+bandwidth, and per-round latency.
+"""
+
+from repro.comm.routines import (
+    LinkParams,
+    Routine,
+    routine_time,
+)
+
+__all__ = ["Routine", "LinkParams", "routine_time"]

@@ -1,0 +1,97 @@
+"""Alpha-beta cost models for the collective routines of Table 2.
+
+Conventions
+-----------
+* ``p`` participants; ``p == 1`` means no communication (zero cost).
+* ``nbytes`` is the **per-participant input payload**:
+  - Allreduce / Reduce-scatter / Reduce / Alltoall: each node starts with
+    an ``nbytes`` buffer covering the whole tensor (or tensor shard).
+  - Allgather / Broadcast / Gather: each node contributes (or the root
+    holds) an ``nbytes`` buffer; Allgather output is ``p * nbytes``.
+* ``alpha`` (latency) is charged once per communication round, ``beta``
+  is ``1 / bandwidth`` seconds per byte.
+
+Models (ring for the shifting collectives, binomial trees for the rooted
+ones — the same shapes NCCL/MPICH realize and that Thakur et al. analyze):
+
+===============  ==========================================================
+Allreduce        ``2(p-1) alpha + 2 (p-1)/p * n beta``      (ring)
+Reduce-scatter   ``(p-1) alpha + (p-1)/p * n beta``         (ring)
+Allgather        ``(p-1) alpha + (p-1) * n beta``           (ring, n = shard)
+Alltoall         ``(p-1) alpha + (p-1)/p * n beta``         (pairwise)
+Reduce           ``ceil(log2 p) (alpha + n beta)``          (binomial tree)
+Broadcast        ``ceil(log2 p) (alpha + n beta)``          (binomial tree)
+Gather           ``(p-1) alpha + (p-1) * n beta``           (root link serial)
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Routine(enum.Enum):
+    """The collective routines appearing in the paper's Table 2."""
+
+    ALLREDUCE = "allreduce"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALLGATHER = "allgather"
+    ALLTOALL = "alltoall"
+    REDUCE = "reduce"
+    BROADCAST = "broadcast"
+    GATHER = "gather"
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Cost-model parameters of one communication phase.
+
+    Attributes:
+        participants: number of communicating nodes (GPUs or machines).
+        bandwidth: bytes/second of each node's link.
+        latency: seconds charged per communication round (alpha).
+    """
+
+    participants: int
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.participants < 1:
+            raise ValueError(
+                f"participants must be >= 1, got {self.participants}"
+            )
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("latency", self.latency)
+
+
+def routine_time(routine: Routine, nbytes: float, link: LinkParams) -> float:
+    """Wall-clock seconds for one collective ``routine`` on ``link``.
+
+    ``nbytes`` is the per-participant input payload (see module docstring
+    for per-routine semantics).  Returns 0 for single-participant links.
+    """
+    check_non_negative("nbytes", nbytes)
+    p = link.participants
+    if p == 1 or nbytes == 0:
+        return 0.0
+    alpha = link.latency
+    beta = 1.0 / link.bandwidth
+    if routine is Routine.ALLREDUCE:
+        return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes * beta
+    if routine is Routine.REDUCE_SCATTER:
+        return (p - 1) * alpha + (p - 1) / p * nbytes * beta
+    if routine is Routine.ALLGATHER:
+        return (p - 1) * alpha + (p - 1) * nbytes * beta
+    if routine is Routine.ALLTOALL:
+        return (p - 1) * alpha + (p - 1) / p * nbytes * beta
+    if routine in (Routine.REDUCE, Routine.BROADCAST):
+        rounds = math.ceil(math.log2(p))
+        return rounds * (alpha + nbytes * beta)
+    if routine is Routine.GATHER:
+        return (p - 1) * alpha + (p - 1) * nbytes * beta
+    raise ValueError(f"unknown routine: {routine!r}")

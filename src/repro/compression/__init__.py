@@ -1,0 +1,39 @@
+"""Gradient-compression algorithms (the paper's GC library, §5.1).
+
+Sparsifiers (Random-k, Top-k, DGC) and quantizers (EF-SignSGD, QSGD,
+TernGrad, FP16) implemented on numpy, plus the error-feedback wrapper the
+paper applies to all of them, and a registry keyed by algorithm name.
+"""
+
+from repro.compression.base import FP32_BYTES, CompressedTensor, Compressor
+from repro.compression.efsignsgd import EFSignSGD
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.fp16 import FP16
+from repro.compression.none import NoCompression
+from repro.compression.qsgd import QSGD
+from repro.compression.randomk import RandomK
+from repro.compression.registry import (
+    available_compressors,
+    create_compressor,
+    register_compressor,
+)
+from repro.compression.terngrad import TernGrad
+from repro.compression.topk import DGC, TopK
+
+__all__ = [
+    "FP32_BYTES",
+    "CompressedTensor",
+    "Compressor",
+    "NoCompression",
+    "RandomK",
+    "TopK",
+    "DGC",
+    "EFSignSGD",
+    "QSGD",
+    "TernGrad",
+    "FP16",
+    "ErrorFeedback",
+    "available_compressors",
+    "create_compressor",
+    "register_compressor",
+]

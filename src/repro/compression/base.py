@@ -1,0 +1,102 @@
+"""Compressor interface shared by all gradient-compression algorithms.
+
+Two concerns live here:
+
+* **Mathematical behaviour** — ``compress``/``decompress`` operate on real
+  numpy arrays so the training engine (:mod:`repro.training`) can validate
+  convergence exactly as the paper's §5.4 does.
+* **Wire-size model** — ``compressed_nbytes`` tells the communication cost
+  models (:mod:`repro.comm`) how many bytes a compressed tensor occupies,
+  and ``work_factor`` tells the compression time models
+  (:mod:`repro.profiling`) how expensive the kernel is relative to a plain
+  streaming pass over the data.
+
+The paper (§4.3) requires GC algorithms to have deterministic compression
+time and deterministic compression ratio given a tensor size; every
+compressor here satisfies both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Bytes per FP32 gradient element.
+FP32_BYTES = 4
+
+
+@dataclass
+class CompressedTensor:
+    """The wire representation of a compressed gradient.
+
+    Attributes:
+        algorithm: name of the compressor that produced it.
+        shape: original tensor shape, needed to decompress.
+        payload: algorithm-specific arrays (e.g. values/indices/sign bits).
+        nbytes: number of bytes this object occupies on the wire.
+        metadata: small scalars (norms, scales) that also travel on the wire.
+    """
+
+    algorithm: str
+    shape: tuple
+    payload: Dict[str, np.ndarray]
+    nbytes: int
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+
+class Compressor(abc.ABC):
+    """A gradient-compression algorithm.
+
+    Subclasses must be stateless with respect to gradient content (error
+    feedback is layered on by
+    :class:`repro.compression.error_feedback.ErrorFeedback`), but may use a
+    caller-provided seed for shared randomness (e.g. Random-k index
+    selection synchronized across workers).
+    """
+
+    #: Human-readable algorithm name (registry key).
+    name: str = "abstract"
+
+    #: Relative computational cost per input element of one
+    #: compress+decompress pair, where 1.0 is a single streaming pass
+    #: (e.g. an FP16 cast).  Feeds the compression time models.
+    work_factor: float = 1.0
+
+    #: Whether decompressed tensors from different workers can be summed
+    #: without re-sparsifying (dense output).  All algorithms here produce
+    #: dense decompressed output, so aggregation is always a dense sum.
+    is_identity: bool = False
+
+    @abc.abstractmethod
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        """Compress ``tensor`` (any shape, float dtype) for the wire."""
+
+    @abc.abstractmethod
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Reconstruct a dense float32 tensor from ``compressed``."""
+
+    @abc.abstractmethod
+    def compressed_nbytes(self, num_elements: int) -> int:
+        """Wire size in bytes of a compressed tensor of ``num_elements``."""
+
+    def compression_ratio(self, num_elements: int) -> float:
+        """Wire bytes divided by FP32 bytes; < 1 means traffic is saved."""
+        if num_elements <= 0:
+            raise ValueError(f"num_elements must be > 0, got {num_elements}")
+        return self.compressed_nbytes(num_elements) / (num_elements * FP32_BYTES)
+
+    def _check_input(self, tensor: np.ndarray) -> np.ndarray:
+        arr = np.asarray(tensor, dtype=np.float32)
+        if arr.size == 0:
+            raise ValueError("cannot compress an empty tensor")
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

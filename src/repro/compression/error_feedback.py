@@ -1,0 +1,56 @@
+"""Error feedback (a.k.a. memory / residual accumulation).
+
+The paper applies error feedback to every compressor on both GPU and CPU
+paths (§5.1) because it is what preserves convergence under aggressive
+compression.  The wrapper keeps a residual per tensor key:
+
+    acc      = gradient + residual[key]
+    wire     = compress(acc)
+    residual = acc - decompress(wire)
+
+so information dropped by the compressor in one step re-enters the next.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor, Compressor
+
+
+class ErrorFeedback:
+    """Stateful error-feedback wrapper around a :class:`Compressor`.
+
+    One instance belongs to one worker; residuals are tracked per tensor
+    key (e.g. the tensor's name or index in the model).
+    """
+
+    def __init__(self, compressor: Compressor):
+        self.compressor = compressor
+        self._residuals: Dict[object, np.ndarray] = {}
+
+    def compress(
+        self, key: object, gradient: np.ndarray, seed: Optional[int] = None
+    ) -> CompressedTensor:
+        """Compress ``gradient`` for tensor ``key``, updating the residual."""
+        grad = np.asarray(gradient, dtype=np.float32)
+        residual = self._residuals.get(key)
+        acc = grad if residual is None else grad + residual
+        compressed = self.compressor.compress(acc, seed=seed)
+        self._residuals[key] = acc - self.compressor.decompress(compressed)
+        return compressed
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        """Decompress (stateless; provided for call-site symmetry)."""
+        return self.compressor.decompress(compressed)
+
+    def residual(self, key: object) -> Optional[np.ndarray]:
+        """The residual currently stored for ``key`` (None before first use)."""
+        value = self._residuals.get(key)
+        return None if value is None else value.copy()
+
+    def reset(self) -> None:
+        """Drop all residuals (e.g. between training runs)."""
+        self._residuals.clear()

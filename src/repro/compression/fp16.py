@@ -1,0 +1,35 @@
+"""FP16 cast "compression": halves the traffic with a precision cast."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor, Compressor
+
+_FP16_BYTES = 2
+
+
+class FP16(Compressor):
+    """Cast gradients to half precision for the wire."""
+
+    name = "fp16"
+    work_factor = 0.5
+
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        arr = self._check_input(tensor)
+        return CompressedTensor(
+            algorithm=self.name,
+            shape=arr.shape,
+            payload={"values": arr.ravel().astype(np.float16)},
+            nbytes=self.compressed_nbytes(arr.size),
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        return (
+            compressed.payload["values"].astype(np.float32).reshape(compressed.shape)
+        )
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        return num_elements * _FP16_BYTES

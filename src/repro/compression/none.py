@@ -1,0 +1,32 @@
+"""The identity "compressor": plain FP32 synchronization (no GC)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import FP32_BYTES, CompressedTensor, Compressor
+
+
+class NoCompression(Compressor):
+    """Pass-through compressor used by the FP32 baseline."""
+
+    name = "none"
+    work_factor = 0.0
+    is_identity = True
+
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        arr = self._check_input(tensor)
+        return CompressedTensor(
+            algorithm=self.name,
+            shape=arr.shape,
+            payload={"values": arr.copy()},
+            nbytes=self.compressed_nbytes(arr.size),
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        return compressed.payload["values"].reshape(compressed.shape).copy()
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        return num_elements * FP32_BYTES

@@ -1,0 +1,74 @@
+"""Random-k sparsification (Stich et al., "Sparsified SGD with memory").
+
+A uniformly random subset of k = ``ratio * n`` gradient coordinates is
+kept.  With a seed shared across workers (derived from the training step
+and tensor name) all workers select the *same* coordinates, which is what
+makes Random-k aggregation-friendly in practice; the seed is a parameter
+so callers control that synchronization.
+
+Wire format: k FP32 values + k int32 indices (8 bytes per kept element).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import FP32_BYTES, CompressedTensor, Compressor
+
+_INDEX_BYTES = 4
+
+
+def sparse_elements(num_elements: int, ratio: float) -> int:
+    """Number of coordinates kept by a sparsifier (at least one)."""
+    if num_elements <= 0:
+        raise ValueError(f"num_elements must be > 0, got {num_elements}")
+    return max(1, int(round(num_elements * ratio)))
+
+
+class RandomK(Compressor):
+    """Keep a random ``ratio`` fraction of coordinates."""
+
+    name = "randomk"
+    #: One RNG pass + gather + scatter: cheap relative to Top-k.
+    work_factor = 1.5
+
+    def __init__(self, ratio: float = 0.01, rescale: bool = False):
+        """Args:
+        ratio: fraction of coordinates to keep.
+        rescale: multiply kept values by ``n/k`` to make the compressed
+            gradient an unbiased estimator.  Leave False when combined
+            with error feedback (the residual memory already corrects the
+            bias, and rescaling would poison the residuals).
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.rescale = rescale
+
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        arr = self._check_input(tensor)
+        flat = arr.ravel()
+        k = sparse_elements(flat.size, self.ratio)
+        rng = np.random.default_rng(0 if seed is None else seed)
+        indices = rng.choice(flat.size, size=k, replace=False).astype(np.int64)
+        indices.sort()
+        scale = flat.size / k if self.rescale else 1.0
+        values = (flat[indices] * scale).astype(np.float32)
+        return CompressedTensor(
+            algorithm=self.name,
+            shape=arr.shape,
+            payload={"values": values, "indices": indices},
+            nbytes=self.compressed_nbytes(flat.size),
+            metadata={"scale": scale},
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        out = np.zeros(compressed.num_elements, dtype=np.float32)
+        out[compressed.payload["indices"]] = compressed.payload["values"]
+        return out.reshape(compressed.shape)
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        k = sparse_elements(num_elements, self.ratio)
+        return k * (FP32_BYTES + _INDEX_BYTES)

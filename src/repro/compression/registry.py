@@ -1,0 +1,57 @@
+"""Name-based compressor registry.
+
+The paper's "GC information" config names the algorithm and its
+compression ratio (Fig. 6); :func:`create_compressor` turns that config
+into a concrete :class:`~repro.compression.base.Compressor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.compression.base import Compressor
+from repro.compression.efsignsgd import EFSignSGD
+from repro.compression.fp16 import FP16
+from repro.compression.none import NoCompression
+from repro.compression.qsgd import QSGD
+from repro.compression.randomk import RandomK
+from repro.compression.terngrad import TernGrad
+from repro.compression.topk import DGC, TopK
+
+_FACTORIES: Dict[str, Callable[..., Compressor]] = {
+    "none": NoCompression,
+    "randomk": RandomK,
+    "topk": TopK,
+    "dgc": DGC,
+    "efsignsgd": EFSignSGD,
+    "qsgd": QSGD,
+    "terngrad": TernGrad,
+    "fp16": FP16,
+}
+
+
+def available_compressors() -> list:
+    """Registered algorithm names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def create_compressor(name: str, **params) -> Compressor:
+    """Instantiate the compressor registered under ``name``.
+
+    Keyword arguments are forwarded to the algorithm's constructor, e.g.
+    ``create_compressor("dgc", ratio=0.01)``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        ) from None
+    return factory(**params)
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a custom compressor (the abstraction's extensibility hook)."""
+    if name in _FACTORIES:
+        raise ValueError(f"compressor {name!r} already registered")
+    _FACTORIES[name] = factory

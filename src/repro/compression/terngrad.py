@@ -1,0 +1,52 @@
+"""TernGrad ternary quantization (Wen et al. 2017).
+
+Coordinates become {-1, 0, +1} times the per-tensor max magnitude, with
+stochastic rounding keeping the estimator unbiased.  Two bits per
+coordinate on the wire plus the FP32 scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import FP32_BYTES, CompressedTensor, Compressor
+
+_BITS_PER_ELEMENT = 2
+
+
+class TernGrad(Compressor):
+    """Stochastic ternarization against the max-magnitude scale."""
+
+    name = "terngrad"
+    work_factor = 1.2
+
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        arr = self._check_input(tensor)
+        flat = arr.ravel()
+        scale = float(np.max(np.abs(flat)))
+        if scale == 0.0:
+            ternary = np.zeros(flat.size, dtype=np.int8)
+        else:
+            rng = np.random.default_rng(0 if seed is None else seed)
+            prob = np.abs(flat) / scale
+            keep = rng.random(flat.size) < prob
+            ternary = (np.sign(flat) * keep).astype(np.int8)
+        return CompressedTensor(
+            algorithm=self.name,
+            shape=arr.shape,
+            # int8 in memory; the wire-size model charges 2 bits/element.
+            payload={"ternary": ternary},
+            nbytes=self.compressed_nbytes(flat.size),
+            metadata={"scale": scale},
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        scale = compressed.metadata["scale"]
+        out = compressed.payload["ternary"].astype(np.float32) * scale
+        return out.reshape(compressed.shape)
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        total_bits = num_elements * _BITS_PER_ELEMENT
+        return (total_bits + 7) // 8 + FP32_BYTES

@@ -1,0 +1,111 @@
+"""Top-k sparsification and DGC (Lin et al., "Deep Gradient Compression").
+
+Top-k keeps the ``ratio`` fraction of coordinates with the largest
+magnitude.  DGC is Top-k with a cheaper, sampling-based threshold
+estimation (plus training-loop tricks such as momentum correction that
+live in the optimizer, not the compressor).  Both ship k values + k
+indices on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import FP32_BYTES, CompressedTensor, Compressor
+from repro.compression.randomk import sparse_elements
+
+_INDEX_BYTES = 4
+
+
+class TopK(Compressor):
+    """Exact top-k magnitude sparsification."""
+
+    name = "topk"
+    #: A selection pass over all elements dominates; costlier than Random-k.
+    work_factor = 3.0
+
+    def __init__(self, ratio: float = 0.01):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+
+    def _select(self, flat: np.ndarray, k: int, seed: Optional[int]) -> np.ndarray:
+        """Return the indices of the k kept coordinates (sorted)."""
+        if k >= flat.size:
+            return np.arange(flat.size, dtype=np.int64)
+        idx = np.argpartition(np.abs(flat), flat.size - k)[-k:]
+        idx.sort()
+        return idx.astype(np.int64)
+
+    def compress(self, tensor: np.ndarray, seed: Optional[int] = None) -> CompressedTensor:
+        arr = self._check_input(tensor)
+        flat = arr.ravel()
+        k = sparse_elements(flat.size, self.ratio)
+        indices = self._select(flat, k, seed)
+        return CompressedTensor(
+            algorithm=self.name,
+            shape=arr.shape,
+            payload={
+                "values": flat[indices].astype(np.float32),
+                "indices": indices,
+            },
+            nbytes=self.compressed_nbytes(flat.size),
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        out = np.zeros(compressed.num_elements, dtype=np.float32)
+        out[compressed.payload["indices"]] = compressed.payload["values"]
+        return out.reshape(compressed.shape)
+
+    def compressed_nbytes(self, num_elements: int) -> int:
+        k = sparse_elements(num_elements, self.ratio)
+        return k * (FP32_BYTES + _INDEX_BYTES)
+
+
+class DGC(TopK):
+    """DGC's sampled-threshold Top-k.
+
+    Instead of an exact selection, DGC estimates the magnitude threshold
+    from a random sample of the gradient (cheaper on large tensors), then
+    keeps every coordinate above the threshold, trimming or topping up to
+    exactly k so the wire size stays deterministic — the property §4.3 of
+    the paper relies on.
+    """
+
+    name = "dgc"
+    #: Sampling makes selection cheaper than exact top-k.
+    work_factor = 2.0
+
+    #: Fraction of coordinates sampled for threshold estimation.
+    SAMPLE_FRACTION = 0.01
+    #: Minimum sample size so tiny tensors still estimate something.
+    MIN_SAMPLE = 256
+
+    def _select(self, flat: np.ndarray, k: int, seed: Optional[int]) -> np.ndarray:
+        if k >= flat.size:
+            return np.arange(flat.size, dtype=np.int64)
+        magnitudes = np.abs(flat)
+        sample_size = min(
+            flat.size, max(self.MIN_SAMPLE, int(flat.size * self.SAMPLE_FRACTION))
+        )
+        rng = np.random.default_rng(0 if seed is None else seed)
+        sample = magnitudes[rng.integers(0, flat.size, size=sample_size)]
+        # Threshold such that ~ratio of sampled magnitudes exceed it.
+        threshold = np.quantile(sample, 1.0 - self.ratio)
+        candidates = np.flatnonzero(magnitudes >= threshold)
+        if candidates.size > k:
+            # Trim to the k largest among candidates.
+            order = np.argpartition(magnitudes[candidates], candidates.size - k)
+            candidates = candidates[order[-k:]]
+        elif candidates.size < k:
+            # Top up with the globally largest remaining coordinates.
+            remaining = np.setdiff1d(
+                np.argpartition(magnitudes, flat.size - k)[-k:],
+                candidates,
+                assume_unique=False,
+            )
+            candidates = np.concatenate([candidates, remaining[: k - candidates.size]])
+        candidates.sort()
+        return candidates.astype(np.int64)

@@ -1,0 +1,173 @@
+"""The three Espresso input configurations (paper Fig. 6).
+
+Espresso takes (1) DNN model information — tensor sizes and computation
+times, (2) GC information — the algorithm and its compression ratio, and
+(3) training system information — machines, GPUs, bandwidths.  This module
+bundles them into a :class:`JobConfig` and provides JSON round-tripping so
+configs can live in files exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cluster.topology import ClusterSpec
+from repro.compression.base import Compressor
+from repro.compression.registry import create_compressor
+from repro.models.base import ModelProfile, TensorProfile
+from repro.profiling.device import DeviceProfile, v100_gpu, xeon_cpu
+
+
+@dataclass(frozen=True)
+class GCInfo:
+    """The GC configuration: algorithm name + constructor parameters."""
+
+    algorithm: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self) -> Compressor:
+        """Instantiate the configured compressor."""
+        return create_compressor(self.algorithm, **self.params)
+
+
+@dataclass(frozen=True)
+class SystemInfo:
+    """The training-system configuration: topology + compression devices."""
+
+    cluster: ClusterSpec
+    gpu: DeviceProfile = field(default_factory=v100_gpu)
+    cpu: DeviceProfile = field(default_factory=xeon_cpu)
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One DDL training job: model x GC algorithm x system."""
+
+    model: ModelProfile
+    gc: GCInfo
+    system: SystemInfo
+
+    def build_compressor(self) -> Compressor:
+        return self.gc.build()
+
+
+def model_to_dict(model: ModelProfile) -> dict:
+    """Serialize a model profile to plain JSON-compatible data."""
+    return {
+        "name": model.name,
+        "forward_time": model.forward_time,
+        "batch_size": model.batch_size,
+        "sample_unit": model.sample_unit,
+        "dataset": model.dataset,
+        "tensors": [
+            {
+                "name": t.name,
+                "num_elements": t.num_elements,
+                "compute_time": t.compute_time,
+            }
+            for t in model.tensors
+        ],
+    }
+
+
+def model_from_dict(data: dict) -> ModelProfile:
+    """Deserialize :func:`model_to_dict` output."""
+    return ModelProfile(
+        name=data["name"],
+        tensors=tuple(
+            TensorProfile(
+                name=t["name"],
+                num_elements=int(t["num_elements"]),
+                compute_time=float(t["compute_time"]),
+            )
+            for t in data["tensors"]
+        ),
+        forward_time=float(data["forward_time"]),
+        batch_size=int(data["batch_size"]),
+        sample_unit=data.get("sample_unit", "images"),
+        dataset=data.get("dataset", "synthetic"),
+    )
+
+
+def save_model(model: ModelProfile, path: Path) -> None:
+    """Write a model-information config file."""
+    Path(path).write_text(json.dumps(model_to_dict(model), indent=2))
+
+
+def load_model(path: Path) -> ModelProfile:
+    """Read a model-information config file."""
+    return model_from_dict(json.loads(Path(path).read_text()))
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> dict:
+    return {
+        "num_machines": cluster.num_machines,
+        "gpus_per_machine": cluster.gpus_per_machine,
+        "intra_bw": cluster.intra_bw,
+        "inter_bw": cluster.inter_bw,
+        "intra_latency": cluster.intra_latency,
+        "inter_latency": cluster.inter_latency,
+        "interconnect": cluster.interconnect,
+    }
+
+
+def cluster_from_dict(data: dict) -> ClusterSpec:
+    return ClusterSpec(
+        num_machines=int(data["num_machines"]),
+        gpus_per_machine=int(data["gpus_per_machine"]),
+        intra_bw=float(data["intra_bw"]),
+        inter_bw=float(data["inter_bw"]),
+        intra_latency=float(data.get("intra_latency", 3e-6)),
+        inter_latency=float(data.get("inter_latency", 15e-6)),
+        interconnect=data.get("interconnect", "custom"),
+    )
+
+
+def save_cluster(cluster: ClusterSpec, path: Path) -> None:
+    """Write a training-system config file."""
+    Path(path).write_text(json.dumps(cluster_to_dict(cluster), indent=2))
+
+
+def load_cluster(path: Path) -> ClusterSpec:
+    """Read a training-system config file."""
+    return cluster_from_dict(json.loads(Path(path).read_text()))
+
+
+def gc_to_dict(gc: GCInfo) -> dict:
+    return {"algorithm": gc.algorithm, "params": dict(gc.params)}
+
+
+def gc_from_dict(data: dict) -> GCInfo:
+    return GCInfo(algorithm=data["algorithm"], params=dict(data.get("params", {})))
+
+
+def save_gc(gc: GCInfo, path: Path) -> None:
+    """Write a GC-information config file."""
+    Path(path).write_text(json.dumps(gc_to_dict(gc), indent=2))
+
+
+def load_gc(path: Path) -> GCInfo:
+    """Read a GC-information config file."""
+    return gc_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_job(
+    model_path: Path,
+    gc_path: Path,
+    system_path: Path,
+    gpu: Optional[DeviceProfile] = None,
+    cpu: Optional[DeviceProfile] = None,
+) -> JobConfig:
+    """Assemble a :class:`JobConfig` from the three config files."""
+    return JobConfig(
+        model=load_model(model_path),
+        gc=load_gc(gc_path),
+        system=SystemInfo(
+            cluster=load_cluster(system_path),
+            gpu=gpu if gpu is not None else v100_gpu(),
+            cpu=cpu if cpu is not None else xeon_cpu(),
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Espresso's core: the decision-tree abstraction, strategy evaluation,
+and the near-optimal compression decision algorithms."""
+
+from repro.core.algorithm import (
+    GPUDecisionResult,
+    gpu_candidate_options,
+    gpu_compression_decision,
+    sorted_tensor_groups,
+)
+from repro.core.bounds import (
+    FreeCompression,
+    upper_bound_evaluator,
+    upper_bound_iteration_time,
+    upper_bound_throughput,
+)
+from repro.core.bubbles import (
+    DEFAULT_MIN_BUBBLE,
+    communication_bubbles,
+    tensors_before_bubbles,
+)
+from repro.core.espresso import Espresso, EspressoResult
+from repro.core.offload import (
+    OffloadGroup,
+    OffloadResult,
+    apply_offload_counts,
+    cpu_offload_decision,
+    offload_groups,
+)
+from repro.core.options import (
+    Action,
+    ActionTask,
+    CompressionOption,
+    Device,
+    Phase,
+    ROUTINE_PAIRING,
+    RoutineName,
+    no_compression_option,
+    validate_option,
+)
+from repro.core.plan import PlanCompiler
+from repro.core.strategy import (
+    CompressionStrategy,
+    StrategyEvaluator,
+    baseline_strategy,
+)
+from repro.core.tree import (
+    constrain_options,
+    enumerate_options,
+    search_space_size,
+    structural_paths,
+)
+
+__all__ = [
+    "Espresso",
+    "EspressoResult",
+    "CompressionOption",
+    "CompressionStrategy",
+    "StrategyEvaluator",
+    "PlanCompiler",
+    "Action",
+    "ActionTask",
+    "Phase",
+    "Device",
+    "RoutineName",
+    "ROUTINE_PAIRING",
+    "no_compression_option",
+    "baseline_strategy",
+    "validate_option",
+    "enumerate_options",
+    "constrain_options",
+    "structural_paths",
+    "search_space_size",
+    "gpu_candidate_options",
+    "gpu_compression_decision",
+    "sorted_tensor_groups",
+    "GPUDecisionResult",
+    "cpu_offload_decision",
+    "offload_groups",
+    "apply_offload_counts",
+    "OffloadGroup",
+    "OffloadResult",
+    "communication_bubbles",
+    "tensors_before_bubbles",
+    "DEFAULT_MIN_BUBBLE",
+    "FreeCompression",
+    "upper_bound_evaluator",
+    "upper_bound_iteration_time",
+    "upper_bound_throughput",
+]

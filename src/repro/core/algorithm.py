@@ -1,0 +1,256 @@
+"""Algorithm 1: Espresso's GPU compression decision (§4.4.2).
+
+Faithful implementation of the paper's pseudo-code:
+
+1. Sort tensors in descending size order, group by size, and sort within
+   a group by ascending distance to the output layer (Property #2:
+   bigger first; ties favour tensors computed later in backprop, whose
+   compression overlaps better).
+2. ``Remove()``: derive the communication timeline under the current
+   strategy and rule out uncompressed tensors communicated before
+   bubbles (Property #1).
+3. For each surviving tensor, ``GetBestOption()`` tries every GPU
+   compression option (plus "leave it unchanged"), evaluates each
+   candidate's full iteration time F(S) with the empirical models — so
+   the choice accounts for *overheads* and tensor interactions, not
+   wall-clock times (Property #3) — and keeps the argmin.
+4. After each decision, ``Remove()`` runs again, because a newly
+   compressed tensor can open fresh bubbles (Fig. 9(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bubbles import DEFAULT_MIN_BUBBLE, tensors_before_bubbles
+from repro.core.options import CompressionOption, Device
+from repro.core.plan import PlanCompiler
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+from repro.core.tree import enumerate_options
+from repro.sim.stages import COMM
+
+
+def gpu_candidate_options(
+    include_flat: bool = True, include_rooted: bool = False
+) -> List[CompressionOption]:
+    """The C_gpu of Algorithm 1: GPU-only compression options.
+
+    Rooted (Reduce/Broadcast/Gather) schemes are excluded by default —
+    they are dominated under the alpha-beta cost models for more than two
+    participants — but can be re-enabled to search the full Table 3 space.
+    """
+    options = enumerate_options(
+        mode="gpu", include_flat=include_flat, include_rooted=include_rooted
+    )
+    return [option for option in options if option.compresses]
+
+
+def device_candidate_options(
+    include_flat: bool = True, include_rooted: bool = False
+) -> List[CompressionOption]:
+    """GPU- plus CPU-uniform compression options for the decision loop.
+
+    The paper's Algorithm 1 searches C_gpu and relies on Algorithm 2 to
+    move compression to CPUs.  That offloading can only touch tensors
+    Algorithm 1 chose to compress, so a tensor whose GPU compression is
+    net-negative (e.g. kernel-launch contention on models with many
+    mid-sized tensors) but whose CPU compression would win is never
+    compressed at all.  Including the CPU-uniform options in the
+    candidate set closes that gap while keeping the per-tensor greedy
+    structure; Algorithm 2 still optimizes placement of the
+    GPU-compressed groups afterwards.
+    """
+    gpu = gpu_candidate_options(include_flat, include_rooted)
+    cpu = [
+        option
+        for option in enumerate_options(
+            mode="cpu", include_flat=include_flat, include_rooted=include_rooted
+        )
+        if option.compresses
+    ]
+    return gpu + cpu
+
+
+def prefilter_candidates(
+    compiler: PlanCompiler,
+    candidates: Sequence[CompressionOption],
+    num_elements: int,
+    per_device: int = 3,
+) -> List[CompressionOption]:
+    """Shrink the candidate set for one tensor size by standalone cost.
+
+    GetBestOption() prices every candidate with a full timeline
+    simulation — exact but expensive for models with hundreds of tensors.
+    Most candidates are dominated *for a given size* before interactions
+    are even considered: they move more bytes and burn more device time.
+    This filter keeps, per device class, the ``per_device`` cheapest
+    options by standalone communication time and by standalone total
+    time (both kept, because a CPU option's larger total can still win
+    through overlap).  ``per_device=0`` disables filtering — the exact,
+    paper-sized search.
+    """
+    if per_device <= 0:
+        return list(candidates)
+    by_device: dict = {}
+    for option in candidates:
+        device = "cpu" if option.uses_device(Device.CPU) else "gpu"
+        stages = compiler.stages(option, num_elements)
+        comm = sum(s.duration for s in stages if s.kind == COMM)
+        total = sum(s.duration for s in stages)
+        by_device.setdefault(device, []).append((comm, total, option))
+    kept: List[CompressionOption] = []
+    seen: set = set()
+    for entries in by_device.values():
+        for key in (0, 1):  # by comm time, then by total time
+            for entry in sorted(entries, key=lambda e: e[key])[:per_device]:
+                option = entry[2]
+                if id(option) not in seen:
+                    seen.add(id(option))
+                    kept.append(option)
+    return kept
+
+
+def sorted_tensor_groups(evaluator: StrategyEvaluator) -> List[List[int]]:
+    """Lines 2-3 of Algorithm 1: size-descending groups, closest-to-output
+    first inside each group."""
+    model = evaluator.model
+    by_size: Dict[int, List[int]] = {}
+    for index, tensor in enumerate(model.tensors):
+        by_size.setdefault(tensor.num_elements, []).append(index)
+    groups = []
+    for size in sorted(by_size, reverse=True):
+        members = sorted(by_size[size], key=model.distance_to_output)
+        groups.append(members)
+    return groups
+
+
+@dataclass
+class GPUDecisionResult:
+    """Outcome of Algorithm 1."""
+
+    strategy: CompressionStrategy
+    iteration_time: float
+    ruled_out: Set[int] = field(default_factory=set)
+    evaluations: int = 0
+
+    @property
+    def compressed_indices(self) -> List[int]:
+        return self.strategy.compressed_indices
+
+
+def gpu_compression_decision(
+    evaluator: StrategyEvaluator,
+    candidates: Optional[Sequence[CompressionOption]] = None,
+    min_bubble: float = DEFAULT_MIN_BUBBLE,
+    prefilter_per_device: int = 3,
+) -> GPUDecisionResult:
+    """Run Algorithm 1 and return the GPU-compression strategy.
+
+    ``prefilter_per_device`` bounds GetBestOption's per-tensor candidate
+    set (see :func:`prefilter_candidates`); pass 0 for the exact search.
+    """
+    if candidates is None:
+        candidates = gpu_candidate_options()
+    evaluations_before = evaluator.evaluations
+    filtered_cache: dict = {}
+
+    def tensor_candidates(num_elements: int) -> Sequence[CompressionOption]:
+        cached = filtered_cache.get(num_elements)
+        if cached is None:
+            cached = prefilter_candidates(
+                evaluator.compiler, candidates, num_elements, prefilter_per_device
+            )
+            filtered_cache[num_elements] = cached
+        return cached
+
+    strategy = evaluator.baseline()
+    groups = sorted_tensor_groups(evaluator)
+    remaining: Set[int] = {index for group in groups for index in group}
+    ruled_out: Set[int] = set()
+    best_time = evaluator.iteration_time(strategy)
+
+    def remove(current: CompressionStrategy) -> None:
+        """Remove(): rule out uncompressed tensors before bubbles."""
+        timeline = evaluator.timeline(current)
+        before = tensors_before_bubbles(timeline, min_bubble=min_bubble)
+        for index in before:
+            if index in remaining and not current[index].compresses:
+                remaining.discard(index)
+                ruled_out.add(index)
+
+    remove(strategy)
+
+    for group in groups:
+        for index in group:
+            if index not in remaining:
+                continue
+            # GetBestOption(): keep-current plus every candidate.
+            best_option = strategy[index]
+            for option in tensor_candidates(
+                evaluator.model.tensors[index].num_elements
+            ):
+                trial = strategy.replace(index, option)
+                trial_time = evaluator.iteration_time(trial)
+                if trial_time < best_time:
+                    best_time = trial_time
+                    best_option = option
+            strategy = strategy.replace(index, best_option)
+            remaining.discard(index)
+            remove(strategy)
+
+    return GPUDecisionResult(
+        strategy=strategy,
+        iteration_time=best_time,
+        ruled_out=ruled_out,
+        evaluations=evaluator.evaluations - evaluations_before,
+    )
+
+
+def refinement_sweep(
+    evaluator: StrategyEvaluator,
+    strategy: CompressionStrategy,
+    candidates: Sequence[CompressionOption],
+    prefilter_per_device: int = 3,
+) -> Tuple[CompressionStrategy, float, bool]:
+    """One GetBestOption pass over *all* tensors in the final context.
+
+    Algorithm 1's greedy decides each tensor while the others are still
+    mostly uncompressed, and its bubble rule-outs are permanent; when two
+    resources bind simultaneously (e.g. the GPU stream extended by
+    compression kernels *and* a saturated link), single moves evaluated
+    in the early context stall even though a coordinated strategy is much
+    better.  This sweep re-decides every tensor — including previously
+    ruled-out ones, and allowing a return to no-compression — against
+    the *current* strategy, which breaks exactly that deadlock once
+    Algorithm 2 has moved the compression load off the binding resource.
+
+    Returns (strategy, iteration_time, improved).
+    """
+    from repro.core.options import no_compression_option
+
+    keep_plain = no_compression_option()
+    best_time = evaluator.iteration_time(strategy)
+    improved = False
+    filtered_cache: dict = {}
+    for group in sorted_tensor_groups(evaluator):
+        for index in group:
+            num_elements = evaluator.model.tensors[index].num_elements
+            options = filtered_cache.get(num_elements)
+            if options is None:
+                options = prefilter_candidates(
+                    evaluator.compiler, candidates, num_elements, prefilter_per_device
+                )
+                filtered_cache[num_elements] = options
+            best_option = strategy[index]
+            for option in list(options) + [keep_plain]:
+                if option is best_option:
+                    continue
+                trial_time = evaluator.iteration_time(strategy.replace(index, option))
+                if trial_time < best_time - 1e-12:
+                    best_time = trial_time
+                    best_option = option
+                    improved = True
+            if best_option is not strategy[index]:
+                strategy = strategy.replace(index, best_option)
+    return strategy, best_time, improved

@@ -1,0 +1,108 @@
+"""Communication-bubble analysis (Property #1 of §4.4.2).
+
+A *bubble* is a gap between the communications of adjacent tensors on a
+link where the link sits idle because the next tensor's gradient is not
+ready yet (Fig. 9(a)).  Compressing a tensor communicated before a bubble
+only widens the gap — it cannot pull later communications earlier — and
+wastes compression resources, so Algorithm 1's ``Remove()`` rules such
+tensors out whenever bubbles appear.
+
+Not every idle gap is a bubble.  A gap in front of a divisible scheme's
+*second* step is usually self-inflicted: the op is waiting on the same
+tensor's intermediate decompress/aggregate/re-compress, whose timing
+itself depends on when the link ran the *first* step — so compressing
+earlier tensors would pull the whole pipeline earlier and the gap is not
+a shield.  We therefore count a gap as a bubble only when the readiness
+of the stage that follows it is **independent of that link's schedule**:
+no earlier stage of the same tensor's chain ran on the same link, i.e.
+the wait is gated by backprop computation (or by another resource), not
+by this link's own history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.sim.engine import ScheduledStage, Timeline
+from repro.sim.stages import COMM, INTER, INTRA
+
+#: Gaps shorter than this are scheduling noise (latency rounding), not
+#: bubbles a human would see on the timeline.
+DEFAULT_MIN_BUBBLE = 50e-6
+
+
+def _stages_on(timeline: Timeline, resource: str) -> List[ScheduledStage]:
+    stages = [s for s in timeline.stages if s.resource == resource]
+    stages.sort(key=lambda s: s.start)
+    return stages
+
+
+def communication_bubbles(
+    timeline: Timeline, min_bubble: float = DEFAULT_MIN_BUBBLE
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-link bubbles: readiness-gated idle gaps of at least ``min_bubble``.
+
+    A gap qualifies only if the op that ends it is the first stage of its
+    tensor's chain to touch the link (see module docstring).
+    """
+    # First stage index of each (tensor, resource) pair.
+    first_on_link: Dict[Tuple[int, str], int] = {}
+    for stage in timeline.stages:
+        key = (stage.tensor_index, stage.resource)
+        current = first_on_link.get(key)
+        if current is None or stage.stage_index < current:
+            first_on_link[key] = stage.stage_index
+
+    bubbles: Dict[str, List[Tuple[float, float]]] = {}
+    for resource in (INTRA, INTER):
+        stages = _stages_on(timeline, resource)
+        gaps: List[Tuple[float, float]] = []
+        cursor = None
+        for stage in stages:
+            if cursor is not None and stage.start - cursor >= min_bubble:
+                key = (stage.tensor_index, stage.resource)
+                if first_on_link[key] == stage.stage_index:
+                    gaps.append((cursor, stage.start))
+            cursor = stage.end if cursor is None else max(cursor, stage.end)
+        if gaps:
+            bubbles[resource] = gaps
+    return bubbles
+
+
+def tensors_before_bubbles(
+    timeline: Timeline,
+    min_bubble: float = DEFAULT_MIN_BUBBLE,
+) -> Set[int]:
+    """Tensors whose communication completes before a bubble.
+
+    A tensor is "before a bubble" when, on **every** link it communicates
+    on, some bubble starts at or after its last communication there —
+    i.e. a downstream readiness gap absorbs any communication-time
+    reduction on every path, so compressing it cannot shorten the
+    iteration (it can only widen the gaps).
+    """
+    bubbles = communication_bubbles(timeline, min_bubble)
+    # Last communication end per (tensor, resource).
+    last_comm: Dict[Tuple[int, str], float] = {}
+    for stage in timeline.stages:
+        if stage.kind != COMM:
+            continue
+        key = (stage.tensor_index, stage.resource)
+        last_comm[key] = max(last_comm.get(key, 0.0), stage.end)
+
+    tensors = {tensor for tensor, _ in last_comm}
+    before: Set[int] = set()
+    eps = 1e-12
+    for tensor in tensors:
+        shielded_everywhere = True
+        for resource in (INTRA, INTER):
+            end = last_comm.get((tensor, resource))
+            if end is None:
+                continue  # tensor does not use this link
+            gaps = bubbles.get(resource, [])
+            if not any(start >= end - eps for start, _ in gaps):
+                shielded_everywhere = False
+                break
+        if shielded_everywhere:
+            before.add(tensor)
+    return before

@@ -1,0 +1,211 @@
+"""The top-level Espresso planner (Fig. 6).
+
+``Espresso(job).select_strategy()`` runs the full pipeline: Algorithm 1
+(GPU compression decisions) followed by Algorithm 2 (optimal CPU
+offloading), and reports the selected strategy together with the
+selection-time breakdown the paper's Tables 5 and 6 measure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.config import JobConfig
+from repro.core.algorithm import (
+    GPUDecisionResult,
+    device_candidate_options,
+    gpu_compression_decision,
+    refinement_sweep,
+)
+from repro.core.offload import OffloadResult, cpu_offload_decision
+from repro.core.options import CompressionOption, Device
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+@dataclass
+class EspressoResult:
+    """The selected strategy plus the selection-cost accounting."""
+
+    strategy: CompressionStrategy
+    iteration_time: float
+    baseline_iteration_time: float
+    gpu_decision: GPUDecisionResult
+    offload: OffloadResult
+    selection_seconds: float
+    gpu_selection_seconds: float
+    offload_selection_seconds: float
+    refinement_seconds: float = 0.0
+    refinement_sweeps_run: int = 0
+    #: True when a uniform portfolio strategy beat the Algorithm 1+2
+    #: result and seeded the refinement sweeps.
+    portfolio_seeded: bool = False
+
+    @property
+    def speedup_over_fp32(self) -> float:
+        """Throughput ratio of the selected strategy over no compression."""
+        return self.baseline_iteration_time / self.iteration_time
+
+    @property
+    def compressed_indices(self) -> List[int]:
+        return self.strategy.compressed_indices
+
+    @property
+    def cpu_indices(self) -> List[int]:
+        return self.strategy.device_indices(Device.CPU)
+
+    @property
+    def gpu_indices(self) -> List[int]:
+        return self.strategy.device_indices(Device.GPU)
+
+    def summary(self) -> str:
+        """One-paragraph readable report."""
+        n = len(self.strategy)
+        return (
+            f"Espresso selected compression for "
+            f"{len(self.compressed_indices)}/{n} tensors "
+            f"({len(self.gpu_indices)} on GPU, {len(self.cpu_indices)} on CPU) "
+            f"in {self.selection_seconds * 1e3:.1f} ms; "
+            f"iteration {self.baseline_iteration_time * 1e3:.1f} ms -> "
+            f"{self.iteration_time * 1e3:.1f} ms "
+            f"({(self.speedup_over_fp32 - 1) * 100:+.0f}%)."
+        )
+
+
+class Espresso:
+    """Selects a near-optimal compression strategy for one training job."""
+
+    def __init__(
+        self,
+        job: JobConfig,
+        candidates: Optional[Sequence[CompressionOption]] = None,
+        max_offload_evaluations: int = 100_000,
+        prefilter_per_device: int = 3,
+        refinement_sweeps: int = 6,
+        min_sweep_improvement: float = 0.003,
+    ):
+        """Args:
+        job: the three-config training job (model, GC, system).
+        candidates: the option set explored per tensor; defaults to
+            :func:`~repro.core.algorithm.device_candidate_options`
+            (C_gpu plus the CPU-uniform options — see that function's
+            docstring for why the paper's pure C_gpu is widened).
+        max_offload_evaluations: budget for Algorithm 2's exhaustive
+            group-count enumeration before falling back to sweeps.
+        prefilter_per_device: per-tensor candidate prefilter strength
+            (see :func:`~repro.core.algorithm.prefilter_candidates`);
+            0 disables it for the exact, paper-sized search.
+        refinement_sweeps: maximum post-offload GetBestOption sweeps
+            (see :func:`~repro.core.algorithm.refinement_sweep`); each
+            improving sweep is followed by another offload pass.
+        min_sweep_improvement: stop sweeping early once a sweep improves
+            the iteration time by less than this relative fraction.
+        """
+        self.job = job
+        self.evaluator = StrategyEvaluator(job)
+        # The uniform-strategy portfolio uses the preset pipelines, which
+        # only makes sense for the full default search space; a caller
+        # restricting the candidates gets exactly that restriction.
+        self._use_portfolio = candidates is None
+        self.candidates = (
+            list(candidates)
+            if candidates is not None
+            else device_candidate_options()
+        )
+        self.max_offload_evaluations = max_offload_evaluations
+        self.prefilter_per_device = prefilter_per_device
+        self.refinement_sweeps = refinement_sweeps
+        self.min_sweep_improvement = min_sweep_improvement
+
+    def select_strategy(self) -> EspressoResult:
+        """Run Algorithm 1 + Algorithm 2 and return the decision."""
+        baseline_time = self.evaluator.iteration_time(self.evaluator.baseline())
+
+        start = time.perf_counter()
+        gpu_result = gpu_compression_decision(
+            self.evaluator,
+            candidates=self.candidates,
+            prefilter_per_device=self.prefilter_per_device,
+        )
+        gpu_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        offload_result = cpu_offload_decision(
+            self.evaluator,
+            gpu_result.strategy,
+            max_evaluations=self.max_offload_evaluations,
+        )
+        offload_seconds = time.perf_counter() - start
+
+        strategy = offload_result.strategy
+        best_time = offload_result.iteration_time
+
+        # Portfolio check: the per-tensor greedy can stall when two
+        # resources bind at once, while a *uniform* strategy (compress
+        # everything one fixed way — what BytePS-Compress/HiTopKComm do)
+        # sits in a different basin.  Evaluating the six uniform
+        # presets costs six F(S) calls and guarantees Espresso never
+        # loses to a uniform policy; the refinement sweeps then improve
+        # whichever seed won.
+        portfolio_seeded = False
+        n = self.job.model.num_tensors
+        builders = (
+            (inter_allgather_option, inter_alltoall_option, double_compression_option)
+            if self._use_portfolio
+            else ()
+        )
+        for builder in builders:
+            for device in (Device.GPU, Device.CPU):
+                uniform = CompressionStrategy(options=(builder(device),) * n)
+                uniform_time = self.evaluator.iteration_time(uniform)
+                if uniform_time < best_time:
+                    strategy, best_time = uniform, uniform_time
+                    portfolio_seeded = True
+
+        start = time.perf_counter()
+        sweeps_run = 0
+        for _ in range(self.refinement_sweeps):
+            before = best_time
+            strategy, best_time, improved = refinement_sweep(
+                self.evaluator,
+                strategy,
+                self.candidates,
+                prefilter_per_device=self.prefilter_per_device,
+            )
+            sweeps_run += 1
+            if not improved:
+                break
+            if (before - best_time) / before < self.min_sweep_improvement:
+                improved = False  # diminishing returns: stop after offload
+            # The sweep may have shifted load back onto the GPU stream;
+            # re-optimize placement with another Lemma-1 offload pass.
+            offload_result = cpu_offload_decision(
+                self.evaluator,
+                strategy,
+                max_evaluations=self.max_offload_evaluations,
+            )
+            strategy = offload_result.strategy
+            best_time = offload_result.iteration_time
+            if not improved:
+                break
+        refinement_seconds = time.perf_counter() - start
+
+        return EspressoResult(
+            strategy=strategy,
+            iteration_time=best_time,
+            baseline_iteration_time=baseline_time,
+            gpu_decision=gpu_result,
+            offload=offload_result,
+            selection_seconds=gpu_seconds + offload_seconds + refinement_seconds,
+            gpu_selection_seconds=gpu_seconds,
+            offload_selection_seconds=offload_seconds,
+            refinement_seconds=refinement_seconds,
+            refinement_sweeps_run=sweeps_run,
+            portfolio_seeded=portfolio_seeded,
+        )

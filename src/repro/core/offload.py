@@ -1,0 +1,189 @@
+"""Algorithm 2: provably optimal CPU offloading (§4.4.3).
+
+After Algorithm 1, the compressed tensors T_gpu are grouped by
+(size, compression option).  Lemma 1: if q tensors of a group must move
+to the CPU, the best q are those **farthest from the output layer** —
+they are computed earliest in backprop, so their CPU compression overlaps
+the remaining computation and communication.  Algorithm 2 therefore only
+enumerates the *count* of offloaded tensors per group
+(prod(|G_i| + 1) combinations, Theorem 1) instead of all 2^|T_gpu|
+subsets, evaluating each combination's F(S).
+
+When the group structure still makes the product impractically large, a
+coordinate-descent sweep over the group counts (each sweep step is
+exact within its group, by Lemma 1) is used instead; the exhaustive path
+is always taken when the product fits the ``max_evaluations`` budget, so
+Theorem 1's optimality claim is testable against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.options import CompressionOption, Device
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+
+@dataclass(frozen=True)
+class OffloadGroup:
+    """One G_i^gpu: same-size, same-option tensors, sorted by descending
+    distance to the output layer (the Lemma 1 offload order)."""
+
+    size: int
+    option: CompressionOption
+    members: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def offload_groups(
+    evaluator: StrategyEvaluator, strategy: CompressionStrategy
+) -> List[OffloadGroup]:
+    """Group the GPU-compressed tensors for Algorithm 2."""
+    model = evaluator.model
+    by_key: Dict[Tuple[int, int], List[int]] = {}
+    options: Dict[Tuple[int, int], CompressionOption] = {}
+    for index, option in enumerate(strategy.options):
+        if not option.compresses or not option.uses_device(Device.GPU):
+            continue
+        key = (model.tensors[index].num_elements, id(option))
+        by_key.setdefault(key, []).append(index)
+        options[key] = option
+    groups = []
+    for key, members in by_key.items():
+        members.sort(key=model.distance_to_output, reverse=True)
+        groups.append(
+            OffloadGroup(size=key[0], option=options[key], members=tuple(members))
+        )
+    groups.sort(key=lambda g: (-g.size, g.members))
+    return groups
+
+
+def apply_offload_counts(
+    strategy: CompressionStrategy,
+    groups: Sequence[OffloadGroup],
+    counts: Sequence[int],
+) -> CompressionStrategy:
+    """Offload the first ``counts[i]`` tensors of each group to the CPU."""
+    if len(counts) != len(groups):
+        raise ValueError("counts must align with groups")
+    options = list(strategy.options)
+    for group, count in zip(groups, counts):
+        if not 0 <= count <= len(group):
+            raise ValueError(
+                f"count {count} out of range for group of {len(group)}"
+            )
+        for index in group.members[:count]:
+            options[index] = options[index].with_device(Device.CPU)
+    return CompressionStrategy(options=tuple(options))
+
+
+@dataclass
+class OffloadResult:
+    """Outcome of Algorithm 2."""
+
+    strategy: CompressionStrategy
+    iteration_time: float
+    counts: Tuple[int, ...]
+    groups: Tuple[OffloadGroup, ...]
+    combinations: int
+    evaluations: int = 0
+    exhaustive: bool = True
+
+    @property
+    def offloaded_indices(self) -> List[int]:
+        return [
+            index
+            for group, count in zip(self.groups, self.counts)
+            for index in group.members[:count]
+        ]
+
+
+def _combination_count(groups: Sequence[OffloadGroup]) -> int:
+    total = 1
+    for group in groups:
+        total *= len(group) + 1
+    return total
+
+
+def cpu_offload_decision(
+    evaluator: StrategyEvaluator,
+    strategy: CompressionStrategy,
+    max_evaluations: int = 100_000,
+) -> OffloadResult:
+    """Run Algorithm 2 on the output of Algorithm 1."""
+    evaluations_before = evaluator.evaluations
+    groups = tuple(offload_groups(evaluator, strategy))
+    base_time = evaluator.iteration_time(strategy)
+    combinations = _combination_count(groups)
+    if not groups:
+        return OffloadResult(
+            strategy=strategy,
+            iteration_time=base_time,
+            counts=(),
+            groups=groups,
+            combinations=combinations,
+            evaluations=evaluator.evaluations - evaluations_before,
+        )
+
+    best_counts = (0,) * len(groups)
+    best_time = base_time
+    exhaustive = combinations <= max_evaluations
+    if exhaustive:
+        for counts in itertools.product(*(range(len(g) + 1) for g in groups)):
+            if not any(counts):
+                continue  # base case already evaluated
+            trial = apply_offload_counts(strategy, groups, counts)
+            trial_time = evaluator.iteration_time(trial)
+            if trial_time < best_time:
+                best_time = trial_time
+                best_counts = counts
+    else:
+        best_counts, best_time = _coordinate_descent(
+            evaluator, strategy, groups, best_time
+        )
+
+    best = apply_offload_counts(strategy, groups, best_counts)
+    return OffloadResult(
+        strategy=best,
+        iteration_time=best_time,
+        counts=tuple(best_counts),
+        groups=groups,
+        combinations=combinations,
+        evaluations=evaluator.evaluations - evaluations_before,
+        exhaustive=exhaustive,
+    )
+
+
+def _coordinate_descent(
+    evaluator: StrategyEvaluator,
+    strategy: CompressionStrategy,
+    groups: Sequence[OffloadGroup],
+    base_time: float,
+    max_sweeps: int = 4,
+) -> Tuple[Tuple[int, ...], float]:
+    """Per-group sweeps when the exhaustive product is too large."""
+    counts = [0] * len(groups)
+    best_time = base_time
+    for _ in range(max_sweeps):
+        improved = False
+        for g, group in enumerate(groups):
+            best_c = counts[g]
+            for c in range(len(group) + 1):
+                if c == counts[g]:
+                    continue
+                trial_counts = list(counts)
+                trial_counts[g] = c
+                trial = apply_offload_counts(strategy, groups, trial_counts)
+                trial_time = evaluator.iteration_time(trial)
+                if trial_time < best_time:
+                    best_time = trial_time
+                    best_c = c
+                    improved = True
+            counts[g] = best_c
+        if not improved:
+            break
+    return tuple(counts), best_time

@@ -1,0 +1,286 @@
+"""Compression options: the paper's decision-tree vocabulary (§4.2).
+
+A *compression option* is a root-to-End path through the decision tree of
+Fig. 8 — a sequence of **action tasks** (Table 3) annotated with the
+communication phase they execute in, the collective routine chosen for
+communication tasks, and the compute device chosen for compression tasks.
+
+The eight action tasks (Table 3):
+
+=============  ========================================================
+``COMP``       compression operation, device in {CPU, GPU}
+``DECOMP``     decompression operation, device in {CPU, GPU}
+``COMM``       indivisible scheme for uncompressed tensors {Allreduce}
+``COMM1``      first step of a divisible scheme, uncompressed
+               {Reduce-scatter, Reduce}
+``COMM2``      second step of a divisible scheme, uncompressed
+               {Allgather, Broadcast}
+``COMM_C``     indivisible scheme for compressed tensors {Allgather}
+``COMM1_C``    first step of a divisible scheme, compressed
+               {Alltoall, Gather}
+``COMM2_C``    second step of a divisible scheme, compressed
+               {Allgather, Broadcast}
+=============  ========================================================
+
+plus an ``AGG`` micro-task for the aggregation a node performs after
+decompressing the pieces received by a first-step collective (Fig. 4(b)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+
+class ActionTask(enum.Enum):
+    """The paper's Table 3 action tasks (plus the implied aggregation)."""
+
+    COMP = "comp"
+    DECOMP = "decomp"
+    AGG = "agg"
+    COMM = "comm"
+    COMM1 = "comm1"
+    COMM2 = "comm2"
+    COMM_C = "comm_comp"
+    COMM1_C = "comm1_comp"
+    COMM2_C = "comm2_comp"
+
+
+#: Action tasks that move bytes.
+COMM_TASKS = (
+    ActionTask.COMM,
+    ActionTask.COMM1,
+    ActionTask.COMM2,
+    ActionTask.COMM_C,
+    ActionTask.COMM1_C,
+    ActionTask.COMM2_C,
+)
+#: Action tasks that run on a compute device.
+DEVICE_TASKS = (ActionTask.COMP, ActionTask.DECOMP, ActionTask.AGG)
+
+
+class Phase(enum.Enum):
+    """Which communication phase of hierarchical/flat sync an action is in."""
+
+    FLAT = "flat"
+    INTRA1 = "intra1"
+    INTER = "inter"
+    INTRA2 = "intra2"
+
+
+class Device(enum.Enum):
+    """Compute resource for compression-related tasks (Dimension 2)."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class RoutineName(enum.Enum):
+    """Collective routines of Table 2."""
+
+    ALLREDUCE = "allreduce"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALLGATHER = "allgather"
+    ALLTOALL = "alltoall"
+    REDUCE = "reduce"
+    BROADCAST = "broadcast"
+    GATHER = "gather"
+
+
+#: Pruning rule 3 (§4.2.2): first- and second-step routines must pair.
+ROUTINE_PAIRING = {
+    RoutineName.REDUCE_SCATTER: RoutineName.ALLGATHER,
+    RoutineName.REDUCE: RoutineName.BROADCAST,
+    RoutineName.ALLTOALL: RoutineName.ALLGATHER,
+    RoutineName.GATHER: RoutineName.BROADCAST,
+}
+
+
+@dataclass(frozen=True)
+class Action:
+    """One action-task instance on a compression option's path."""
+
+    task: ActionTask
+    phase: Phase
+    routine: Optional[RoutineName] = None
+    device: Optional[Device] = None
+
+    def __post_init__(self) -> None:
+        if self.task in COMM_TASKS:
+            if self.routine is None:
+                raise ValueError(f"{self.task} requires a routine")
+            if self.device is not None:
+                raise ValueError(f"{self.task} takes no device")
+        else:
+            if self.device is None:
+                raise ValueError(f"{self.task} requires a device")
+            if self.routine is not None:
+                raise ValueError(f"{self.task} takes no routine")
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``inter:comm_comp[allgather]``."""
+        detail = self.routine.value if self.routine else self.device.value
+        return f"{self.phase.value}:{self.task.value}[{detail}]"
+
+
+@dataclass(frozen=True)
+class CompressionOption:
+    """A full root-to-End decision-tree path for one tensor.
+
+    Attributes:
+        actions: the action tasks in execution order.
+        flat: whether the option uses flat (vs hierarchical) communication.
+    """
+
+    actions: Tuple[Action, ...]
+    flat: bool
+
+    @property
+    def compresses(self) -> bool:
+        """Dimension 1: does the tensor get compressed at all?"""
+        return any(a.task is ActionTask.COMP for a in self.actions)
+
+    @property
+    def compresses_intra(self) -> bool:
+        """True when compression is applied to intra-machine communication."""
+        return any(
+            a.task in (ActionTask.COMM1_C, ActionTask.COMM2_C, ActionTask.COMM_C)
+            and a.phase in (Phase.INTRA1, Phase.INTRA2)
+            for a in self.actions
+        )
+
+    @property
+    def compresses_inter(self) -> bool:
+        """True when compression is applied to inter-machine (or flat) comm."""
+        return any(
+            a.task in (ActionTask.COMM1_C, ActionTask.COMM2_C, ActionTask.COMM_C)
+            and a.phase in (Phase.INTER, Phase.FLAT)
+            for a in self.actions
+        )
+
+    @property
+    def devices(self) -> Tuple[Device, ...]:
+        """Devices of the device-bound actions, in order."""
+        return tuple(a.device for a in self.actions if a.device is not None)
+
+    def uses_device(self, device: Device) -> bool:
+        return device in self.devices
+
+    def with_device(self, device: Device) -> "CompressionOption":
+        """A copy with every compression-related task moved to ``device``.
+
+        This is the "offload compression" operation of Algorithm 2: a
+        tensor's whole option keeps its communication schemes but runs
+        its Comp/Decomp/Agg tasks on the other resource.
+        """
+        actions = tuple(
+            replace(a, device=device) if a.device is not None else a
+            for a in self.actions
+        )
+        return CompressionOption(actions=actions, flat=self.flat)
+
+    def describe(self) -> str:
+        """Readable one-line summary of the full path."""
+        mode = "flat" if self.flat else "hier"
+        if not self.actions:
+            return f"{mode}: (no-op)"
+        return f"{mode}: " + " -> ".join(a.describe() for a in self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def no_compression_option(flat: bool = False) -> CompressionOption:
+    """The canonical FP32 option: hierarchical RS / Allreduce / AG.
+
+    Built here for convenience; the enumerator in
+    :mod:`repro.core.tree` also produces it as a tree path.
+    """
+    if flat:
+        return CompressionOption(
+            actions=(
+                Action(ActionTask.COMM, Phase.FLAT, routine=RoutineName.ALLREDUCE),
+            ),
+            flat=True,
+        )
+    return CompressionOption(
+        actions=(
+            Action(
+                ActionTask.COMM1, Phase.INTRA1, routine=RoutineName.REDUCE_SCATTER
+            ),
+            Action(ActionTask.COMM, Phase.INTER, routine=RoutineName.ALLREDUCE),
+            Action(ActionTask.COMM2, Phase.INTRA2, routine=RoutineName.ALLGATHER),
+        ),
+        flat=False,
+    )
+
+
+def validate_option(option: CompressionOption) -> List[str]:
+    """Check an option against the three pruning rules of §4.2.2.
+
+    Returns a list of violation messages (empty when valid).  Used by the
+    tree tests to prove every enumerated path is well-formed, and by the
+    extensibility hook so user-supplied options are validated too.
+    """
+    problems: List[str] = []
+    actions = option.actions
+    if not actions:
+        problems.append("option has no actions")
+        return problems
+
+    # Rule 2: first/second-step tasks only in their steps — encoded as:
+    # every COMM1* must be followed (eventually, same phase pair) by the
+    # matching COMM2*, and COMM2* must have a preceding COMM1* partner.
+    # Rule 3: routines of the pair must match ROUTINE_PAIRING.
+    open_first: List[Action] = []
+    for action in actions:
+        if action.task in (ActionTask.COMM1, ActionTask.COMM1_C):
+            open_first.append(action)
+        elif action.task in (ActionTask.COMM2, ActionTask.COMM2_C):
+            if not open_first:
+                problems.append(f"{action.describe()} has no first step")
+                continue
+            first = open_first.pop()
+            expected = ROUTINE_PAIRING.get(first.routine)
+            if action.routine is not expected:
+                problems.append(
+                    f"{first.describe()} pairs with {expected}, "
+                    f"got {action.describe()}"
+                )
+    # Unclosed divisible schemes are allowed only when the first step is
+    # hierarchical INTRA1/INTER whose second half belongs to a later
+    # phase that a compressed path legitimately transforms; we require
+    # closure for FLAT, where there is a single phase.
+    for first in open_first:
+        if first.phase is Phase.FLAT:
+            problems.append(f"{first.describe()} never closed")
+
+    # Compression state machine: COMM_C/COMM1_C/COMM2_C require the
+    # payload to be compressed; COMM/COMM1/COMM2 require it dense.
+    compressed = False
+    for action in actions:
+        if action.task is ActionTask.COMP:
+            if compressed:
+                problems.append("double compression without decompression")
+            compressed = True
+        elif action.task is ActionTask.DECOMP:
+            if not compressed:
+                problems.append("decompression of a dense payload")
+            compressed = False
+        elif action.task in (ActionTask.COMM_C, ActionTask.COMM1_C, ActionTask.COMM2_C):
+            if not compressed:
+                problems.append(f"{action.describe()} on a dense payload")
+        elif action.task in (ActionTask.COMM, ActionTask.COMM1, ActionTask.COMM2):
+            if compressed:
+                problems.append(f"{action.describe()} on a compressed payload")
+    if compressed:
+        problems.append("option ends with a compressed payload (no final decomp)")
+
+    # Flat options must not touch hierarchical phases and vice versa.
+    for action in actions:
+        if option.flat and action.phase is not Phase.FLAT:
+            problems.append(f"flat option contains {action.describe()}")
+        if not option.flat and action.phase is Phase.FLAT:
+            problems.append(f"hierarchical option contains {action.describe()}")
+    return problems

@@ -1,0 +1,260 @@
+"""Compile compression options into simulator stage chains.
+
+This is where the decision-tree abstraction meets the empirical models:
+given a tensor size, a cluster, a compressor, and the device time models,
+:class:`PlanCompiler` walks an option's action path, tracks the payload
+state (dense region size, compressed wire size, pending pieces), prices
+every action with the cost models, and emits the
+:class:`~repro.sim.stages.Stage` chain the timeline simulator executes.
+
+Payload-state rules (one representative GPU):
+
+* A first-step collective (Reduce-scatter/Alltoall) divides the dense
+  region by the participant count; Reduce/Gather leave the region at the
+  root.  Compressed first steps additionally leave ``p`` received pieces
+  that the following DECOMP/AGG micro-tasks price.
+* A second-step Allgather multiplies the region back; Broadcast leaves it.
+* Inter-machine collectives run at machine granularity: the per-machine
+  payload is ``k x`` the per-GPU payload when the intra phase divided the
+  tensor across the machine's ``k`` GPUs, and ``1 x`` when a rooted
+  intra routine concentrated it on one GPU.
+* Flat collectives span all ``P = N x k`` GPUs; they occupy the
+  inter-machine link with an effective per-GPU bandwidth of the NIC
+  bandwidth divided by ``k`` (the machine's GPUs share the NIC).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cluster.topology import ClusterSpec
+from repro.comm.routines import LinkParams, Routine, routine_time
+from repro.compression.base import FP32_BYTES, Compressor
+from repro.core.options import (
+    Action,
+    ActionTask,
+    CompressionOption,
+    Device,
+    Phase,
+    RoutineName,
+)
+from repro.profiling.device import DeviceProfile
+from repro.profiling.timing import CompressionTimeModel
+from repro.sim.stages import (
+    AGGREGATE,
+    COMM,
+    COMPRESS,
+    CPU,
+    DECOMPRESS,
+    GPU,
+    INTER,
+    INTRA,
+    Stage,
+)
+
+_ROUTINE_MAP = {
+    RoutineName.ALLREDUCE: Routine.ALLREDUCE,
+    RoutineName.REDUCE_SCATTER: Routine.REDUCE_SCATTER,
+    RoutineName.ALLGATHER: Routine.ALLGATHER,
+    RoutineName.ALLTOALL: Routine.ALLTOALL,
+    RoutineName.REDUCE: Routine.REDUCE,
+    RoutineName.BROADCAST: Routine.BROADCAST,
+    RoutineName.GATHER: Routine.GATHER,
+}
+
+#: Routines that divide the dense region across participants.
+_DIVIDING = (RoutineName.REDUCE_SCATTER, RoutineName.ALLTOALL)
+#: Routines that concentrate the payload on a root.
+_ROOTED = (RoutineName.REDUCE, RoutineName.GATHER, RoutineName.BROADCAST)
+
+
+@dataclass
+class _PayloadState:
+    """Mutable payload bookkeeping while walking an option."""
+
+    region_elements: float  # dense elements this GPU is responsible for
+    compressed: bool = False
+    pieces: int = 1  # identical-region compressed pieces awaiting agg
+    machine_multiplier: int = 1  # active GPUs per machine on the NIC
+
+
+class PlanCompiler:
+    """Compiles (option, tensor size) pairs into priced stage chains."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        compressor: Compressor,
+        gpu: DeviceProfile,
+        cpu: DeviceProfile,
+    ):
+        self.cluster = cluster
+        self.compressor = compressor
+        self._models = {
+            Device.GPU: CompressionTimeModel(gpu, compressor.work_factor),
+            Device.CPU: CompressionTimeModel(cpu, compressor.work_factor),
+        }
+        self._cache: Dict[Tuple[int, int], List[Stage]] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def stages(self, option: CompressionOption, num_elements: int) -> List[Stage]:
+        """The stage chain realizing ``option`` for a tensor of this size.
+
+        Results are cached per (option identity, size): Algorithm 1
+        re-evaluates the same candidates for many same-size tensors.
+        """
+        if num_elements < 1:
+            raise ValueError(f"num_elements must be >= 1, got {num_elements}")
+        key = (id(option), num_elements)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._compile(option, num_elements)
+            self._cache[key] = cached
+        return cached
+
+    # -- compilation -----------------------------------------------------
+
+    def _wire_bytes(self, state: _PayloadState) -> float:
+        """Current per-GPU payload bytes on the wire."""
+        elements = max(1, math.ceil(state.region_elements))
+        if state.compressed:
+            return float(
+                state.pieces * self.compressor.compressed_nbytes(elements)
+            )
+        return float(state.pieces * elements * FP32_BYTES)
+
+    def _link(self, phase: Phase) -> Tuple[str, LinkParams, int]:
+        """(resource, link params, participants) of a phase's collectives."""
+        cluster = self.cluster
+        if phase in (Phase.INTRA1, Phase.INTRA2):
+            return (
+                INTRA,
+                LinkParams(
+                    cluster.gpus_per_machine, cluster.intra_bw, cluster.intra_latency
+                ),
+                cluster.gpus_per_machine,
+            )
+        if phase is Phase.INTER:
+            return (
+                INTER,
+                LinkParams(
+                    cluster.num_machines, cluster.inter_bw, cluster.inter_latency
+                ),
+                cluster.num_machines,
+            )
+        # Flat: all GPUs in one collective; the NIC (shared by the
+        # machine's GPUs) is the bottleneck link when machines > 1.
+        if cluster.num_machines > 1:
+            bandwidth = cluster.inter_bw / cluster.gpus_per_machine
+            return (
+                INTER,
+                LinkParams(cluster.total_gpus, bandwidth, cluster.inter_latency),
+                cluster.total_gpus,
+            )
+        return (
+            INTRA,
+            LinkParams(cluster.total_gpus, cluster.intra_bw, cluster.intra_latency),
+            cluster.total_gpus,
+        )
+
+    def _comm_stage(
+        self, action: Action, state: _PayloadState
+    ) -> Tuple[Stage, int]:
+        """Price one collective and return (stage, participants)."""
+        resource, link, participants = self._link(action.phase)
+        payload = self._wire_bytes(state)
+        if action.phase is Phase.INTER:
+            payload *= state.machine_multiplier
+        duration = routine_time(_ROUTINE_MAP[action.routine], payload, link)
+        stage = Stage(
+            resource=resource,
+            duration=duration,
+            kind=COMM,
+            label=action.describe(),
+        )
+        return stage, participants
+
+    def _device_stage(
+        self, action: Action, state: _PayloadState
+    ) -> Stage:
+        """Price a COMP/DECOMP/AGG micro-task."""
+        model = self._models[action.device]
+        resource = GPU if action.device is Device.GPU else CPU
+        elements = max(1, math.ceil(state.region_elements))
+        dense_bytes = elements * FP32_BYTES
+        if action.task is ActionTask.COMP:
+            duration = model.compress_time(dense_bytes)
+        elif action.task is ActionTask.DECOMP:
+            duration = model.decompress_time(state.pieces * dense_bytes)
+        else:  # AGG
+            duration = model.aggregate_time(state.pieces * dense_bytes)
+        kind = {
+            ActionTask.COMP: COMPRESS,
+            ActionTask.DECOMP: DECOMPRESS,
+            ActionTask.AGG: AGGREGATE,
+        }[action.task]
+        return Stage(
+            resource=resource, duration=duration, kind=kind, label=action.describe()
+        )
+
+    def _compile(self, option: CompressionOption, num_elements: int) -> List[Stage]:
+        cluster = self.cluster
+        if not cluster.is_distributed:
+            return []
+        stages: List[Stage] = []
+        state = _PayloadState(region_elements=float(num_elements))
+        for action in option.actions:
+            if action.task is ActionTask.COMP:
+                stages.append(self._device_stage(action, state))
+                state.compressed = True
+            elif action.task is ActionTask.DECOMP:
+                stages.append(self._device_stage(action, state))
+                state.compressed = False
+            elif action.task is ActionTask.AGG:
+                stages.append(self._device_stage(action, state))
+                state.pieces = 1
+            else:
+                stage, participants = self._comm_stage(action, state)
+                if stage.duration > 0.0:
+                    stages.append(stage)
+                self._apply_comm(action, state, participants)
+        return stages
+
+    def _apply_comm(
+        self, action: Action, state: _PayloadState, participants: int
+    ) -> None:
+        """Update payload state after a collective."""
+        routine = action.routine
+        if participants <= 1:
+            return
+        if action.phase is Phase.INTRA1:
+            # The intra phase decides how the machine's payload reaches
+            # the NIC: divided across all k GPUs, or rooted on one.
+            state.machine_multiplier = (
+                self.cluster.gpus_per_machine if routine in _DIVIDING else 1
+            )
+        if action.task in (ActionTask.COMM1, ActionTask.COMM2, ActionTask.COMM):
+            # Dense collectives aggregate in-network (associative ops).
+            if routine is RoutineName.REDUCE_SCATTER:
+                state.region_elements /= participants
+            elif routine is RoutineName.ALLGATHER:
+                state.region_elements *= participants
+            # Allreduce / Reduce / Broadcast leave the region unchanged.
+            return
+        if action.task in (ActionTask.COMM_C, ActionTask.COMM1_C):
+            # First-step (or indivisible) compressed collectives deliver
+            # `participants` compressed pieces to decompress + aggregate.
+            if routine is RoutineName.ALLTOALL:
+                state.region_elements /= participants
+            state.pieces *= participants
+            return
+        if action.task is ActionTask.COMM2_C:
+            # Second-step compressed collectives concatenate distinct
+            # regions (Allgather) or replicate the root's (Broadcast).
+            if routine is RoutineName.ALLGATHER:
+                state.region_elements *= participants
+            return
+        raise AssertionError(f"unhandled comm action {action!r}")

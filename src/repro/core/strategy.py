@@ -1,0 +1,150 @@
+"""Compression strategies and their evaluation (the paper's F(S)).
+
+A :class:`CompressionStrategy` assigns a compression option to every
+tensor of a model (S = {c_j} in §4.2.2).  The :class:`StrategyEvaluator`
+derives the full iteration timeline of a strategy with the empirical
+models — computing F(S), the iteration time — which is the primitive the
+decision algorithm minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import JobConfig
+from repro.core.options import CompressionOption, Device, no_compression_option
+from repro.core.plan import PlanCompiler
+from repro.sim.engine import Timeline, simulate, simulate_makespan
+from repro.sim.metrics import scaling_factor as _scaling_factor
+from repro.sim.metrics import throughput as _throughput
+from repro.sim.stages import TensorChain, compute_stage
+
+
+@dataclass(frozen=True)
+class CompressionStrategy:
+    """Per-tensor compression options, indexed like ``model.tensors``."""
+
+    options: Tuple[CompressionOption, ...]
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError("a strategy needs at least one tensor option")
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+    def __getitem__(self, index: int) -> CompressionOption:
+        return self.options[index]
+
+    def replace(self, index: int, option: CompressionOption) -> "CompressionStrategy":
+        """A copy with tensor ``index`` assigned ``option``."""
+        options = list(self.options)
+        options[index] = option
+        return CompressionStrategy(options=tuple(options))
+
+    @property
+    def compressed_indices(self) -> List[int]:
+        """Indices of tensors that get compressed under this strategy."""
+        return [i for i, option in enumerate(self.options) if option.compresses]
+
+    def device_indices(self, device: Device) -> List[int]:
+        """Indices of compressed tensors using ``device``."""
+        return [
+            i
+            for i, option in enumerate(self.options)
+            if option.compresses and option.uses_device(device)
+        ]
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump of all per-tensor decisions."""
+        return "\n".join(
+            f"T{i}: {option.describe()}" for i, option in enumerate(self.options)
+        )
+
+
+def baseline_strategy(num_tensors: int, flat: bool = False) -> CompressionStrategy:
+    """The FP32 strategy: no tensor compressed (Algorithm 1's initial S)."""
+    option = no_compression_option(flat=flat)
+    return CompressionStrategy(options=(option,) * num_tensors)
+
+
+class StrategyEvaluator:
+    """Derives timelines and F(S) for strategies of one training job.
+
+    One evaluator is bound to one :class:`~repro.config.JobConfig`; it
+    owns the plan compiler (and its option/size stage cache) so repeated
+    evaluations during the decision algorithm stay fast.
+    """
+
+    def __init__(self, job: JobConfig):
+        self.job = job
+        self.model = job.model
+        self.cluster = job.system.cluster
+        self.compressor = job.build_compressor()
+        self.compiler = PlanCompiler(
+            cluster=self.cluster,
+            compressor=self.compressor,
+            gpu=job.system.gpu,
+            cpu=job.system.cpu,
+        )
+        self._cpu_capacity = job.system.cpu.parallel_workers
+        self._chain_cache: dict = {}
+        self.evaluations = 0  # F(S) computations, reported in Table 5
+
+    def _chains(self, strategy: CompressionStrategy) -> List[TensorChain]:
+        """Per-tensor stage chains, cached per (option, tensor) pair."""
+        if len(strategy) != self.model.num_tensors:
+            raise ValueError(
+                f"strategy covers {len(strategy)} tensors, "
+                f"model has {self.model.num_tensors}"
+            )
+        chains = []
+        cache = self._chain_cache
+        for index, (option, tensor) in enumerate(
+            zip(strategy.options, self.model.tensors)
+        ):
+            key = (id(option), index)
+            chain = cache.get(key)
+            if chain is None:
+                chain = TensorChain(
+                    tensor_index=index,
+                    stages=[
+                        compute_stage(tensor.compute_time),
+                        *self.compiler.stages(option, tensor.num_elements),
+                    ],
+                )
+                cache[key] = chain
+            chains.append(chain)
+        return chains
+
+    def timeline(self, strategy: CompressionStrategy) -> Timeline:
+        """Simulate the full iteration timeline of ``strategy``."""
+        self.evaluations += 1
+        return simulate(self._chains(strategy), cpu_capacity=self._cpu_capacity)
+
+    def iteration_time(self, strategy: CompressionStrategy) -> float:
+        """F(S): the iteration wall-clock time under ``strategy``.
+
+        Uses the makespan-only fast path — the decision algorithm calls
+        this thousands of times and never needs the stage records.
+        """
+        self.evaluations += 1
+        makespan = simulate_makespan(
+            self._chains(strategy), cpu_capacity=self._cpu_capacity
+        )
+        return self.model.forward_time + makespan
+
+    def throughput(self, strategy: CompressionStrategy) -> float:
+        """Cluster samples/second under ``strategy``."""
+        return _throughput(
+            self.model, self.cluster, self.iteration_time(strategy)
+        )
+
+    def scaling_factor(self, strategy: CompressionStrategy) -> float:
+        """The paper's scaling factor T_n / (n * T) under ``strategy``."""
+        return _scaling_factor(self.model, self.iteration_time(strategy))
+
+    def baseline(self, flat: bool = False) -> CompressionStrategy:
+        """The FP32 strategy sized for this job's model."""
+        return baseline_strategy(self.model.num_tensors, flat=flat)

@@ -1,0 +1,349 @@
+"""The decision-tree abstraction of §4.2 (Fig. 8), as an enumerator.
+
+The tree is encoded as recursive subtree builders T1–T5 exactly as the
+paper factors it:
+
+* **T1** — second intra-machine step, input uncompressed.
+* **T2** — second intra-machine step, input compressed.
+* **T3** — inter-machine communication (+ second intra step), input
+  uncompressed.
+* **T4** — inter-machine communication (+ second intra step), input
+  compressed.
+* **T5** — second inter-machine step (+ second intra step), input
+  uncompressed.
+
+The three pruning rules of §4.2.2 are enforced by construction: subtree
+successors are the valid connections; ``COMM1*``/``COMM2*`` appear only
+as the matching steps of divisible schemes; and first/second-step
+routines pair via :data:`~repro.core.options.ROUTINE_PAIRING`.  Following
+Dimension 4, hierarchical intra-machine communication always uses a
+divisible scheme.
+
+After a first-step collective delivers compressed pieces, the receiving
+node decompresses and aggregates them (Fig. 4(b)); those implied
+``DECOMP``/``AGG`` micro-tasks are emitted explicitly so the timeline
+simulator can charge them to a device.
+
+Device assignment (Dimension 2) is applied after path enumeration:
+
+* ``"uniform"`` — every device task of a path runs on the same device
+  (2 instances per compressed path). This is the space the decision
+  algorithm explores — Algorithm 1 works in the GPU-only subspace and
+  Algorithm 2 offloads whole options to the CPU.
+* ``"independent"`` — every COMP/DECOMP occurrence chooses its device
+  independently, the full Table 3 search space (|C| in the thousands,
+  like the paper's 4341).
+* ``"gpu"`` / ``"cpu"`` — single-device subspaces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.options import (
+    Action,
+    ActionTask,
+    CompressionOption,
+    Device,
+    Phase,
+    ROUTINE_PAIRING,
+    RoutineName,
+)
+
+_RS = RoutineName.REDUCE_SCATTER
+_RED = RoutineName.REDUCE
+_AG = RoutineName.ALLGATHER
+_BC = RoutineName.BROADCAST
+_A2A = RoutineName.ALLTOALL
+_GTH = RoutineName.GATHER
+_AR = RoutineName.ALLREDUCE
+
+
+@dataclass(frozen=True)
+class ProtoAction:
+    """An action whose device (if any) is not yet assigned."""
+
+    task: ActionTask
+    phase: Phase
+    routine: Optional[RoutineName] = None
+
+    @property
+    def needs_device(self) -> bool:
+        return self.routine is None
+
+
+Path = Tuple[ProtoAction, ...]
+
+
+def _p(task: ActionTask, phase: Phase, routine: RoutineName = None) -> ProtoAction:
+    return ProtoAction(task=task, phase=phase, routine=routine)
+
+
+def _receive_block(phase: Phase) -> List[ProtoAction]:
+    """Decompress + aggregate the compressed pieces a first step delivered."""
+    return [_p(ActionTask.DECOMP, phase), _p(ActionTask.AGG, phase)]
+
+
+def _t1(intra2_routine: RoutineName) -> List[List[ProtoAction]]:
+    """T1: second intra step, uncompressed input."""
+    return [[_p(ActionTask.COMM2, Phase.INTRA2, intra2_routine)]]
+
+
+def _t2(intra2_routine: RoutineName) -> List[List[ProtoAction]]:
+    """T2: second intra step, compressed input (decompress at the end)."""
+    return [
+        [
+            _p(ActionTask.COMM2_C, Phase.INTRA2, intra2_routine),
+            _p(ActionTask.DECOMP, Phase.INTRA2),
+        ]
+    ]
+
+
+def _t5(
+    inter_second: RoutineName, intra2_routine: RoutineName
+) -> List[List[ProtoAction]]:
+    """T5: second inter step (+ intra2), uncompressed input."""
+    suffixes: List[List[ProtoAction]] = []
+    # compress? No.
+    for t1 in _t1(intra2_routine):
+        suffixes.append([_p(ActionTask.COMM2, Phase.INTER, inter_second)] + t1)
+    # compress? Yes: compress for the second inter step.
+    head = [
+        _p(ActionTask.COMP, Phase.INTER),
+        _p(ActionTask.COMM2_C, Phase.INTER, inter_second),
+    ]
+    for t1 in _t1(intra2_routine):
+        suffixes.append(head + [_p(ActionTask.DECOMP, Phase.INTER)] + t1)
+    for t2 in _t2(intra2_routine):
+        suffixes.append(head + t2)
+    return suffixes
+
+
+def _t4(intra2_routine: RoutineName) -> List[List[ProtoAction]]:
+    """T4: inter communication (+ intra2), compressed input."""
+    suffixes: List[List[ProtoAction]] = []
+    # Indivisible scheme: Allgather of the compressed tensors.
+    base = [_p(ActionTask.COMM_C, Phase.INTER, _AG)] + _receive_block(Phase.INTER)
+    for t1 in _t1(intra2_routine):
+        suffixes.append(base + t1)
+    for t2 in _t2(intra2_routine):
+        suffixes.append(base + [_p(ActionTask.COMP, Phase.INTER)] + t2)
+    # Divisible schemes: Alltoall/Allgather or Gather/Broadcast.
+    for first in (_A2A, _GTH):
+        second = ROUTINE_PAIRING[first]
+        head = [_p(ActionTask.COMM1_C, Phase.INTER, first)] + _receive_block(
+            Phase.INTER
+        )
+        # (a) second step uncompressed (skip the re-compression).
+        for t1 in _t1(intra2_routine):
+            suffixes.append(head + [_p(ActionTask.COMM2, Phase.INTER, second)] + t1)
+        # (b) re-compress the aggregate for the second step.
+        recompressed = head + [
+            _p(ActionTask.COMP, Phase.INTER),
+            _p(ActionTask.COMM2_C, Phase.INTER, second),
+        ]
+        for t1 in _t1(intra2_routine):
+            suffixes.append(recompressed + [_p(ActionTask.DECOMP, Phase.INTER)] + t1)
+        for t2 in _t2(intra2_routine):
+            suffixes.append(recompressed + t2)
+    return suffixes
+
+
+def _t3(intra2_routine: RoutineName) -> List[List[ProtoAction]]:
+    """T3: inter communication (+ intra2), uncompressed input."""
+    suffixes: List[List[ProtoAction]] = []
+    # compress? No — indivisible: one Allreduce.
+    for t1 in _t1(intra2_routine):
+        suffixes.append([_p(ActionTask.COMM, Phase.INTER, _AR)] + t1)
+    # compress? No — divisible: Comm1 then T5.
+    for first in (_RS, _RED):
+        head = [_p(ActionTask.COMM1, Phase.INTER, first)]
+        for t5 in _t5(ROUTINE_PAIRING[first], intra2_routine):
+            suffixes.append(head + t5)
+    # compress? Yes — compress for the inter phase, then T4.
+    for t4 in _t4(intra2_routine):
+        suffixes.append([_p(ActionTask.COMP, Phase.INTER)] + t4)
+    return suffixes
+
+
+def _flat_paths() -> List[List[ProtoAction]]:
+    """The flat-communication half of the tree (flat comm? = Yes)."""
+    paths: List[List[ProtoAction]] = []
+    # compress? No — indivisible.
+    paths.append([_p(ActionTask.COMM, Phase.FLAT, _AR)])
+    # compress? No — divisible.
+    for first in (_RS, _RED):
+        paths.append(
+            [
+                _p(ActionTask.COMM1, Phase.FLAT, first),
+                _p(ActionTask.COMM2, Phase.FLAT, ROUTINE_PAIRING[first]),
+            ]
+        )
+    # compress? Yes — indivisible.
+    paths.append(
+        [
+            _p(ActionTask.COMP, Phase.FLAT),
+            _p(ActionTask.COMM_C, Phase.FLAT, _AG),
+            _p(ActionTask.DECOMP, Phase.FLAT),
+        ]
+    )
+    # compress? Yes — divisible, with the intermediate receive block and
+    # re-compression (Fig. 4).
+    for first in (_A2A, _GTH):
+        paths.append(
+            [
+                _p(ActionTask.COMP, Phase.FLAT),
+                _p(ActionTask.COMM1_C, Phase.FLAT, first),
+                *_receive_block(Phase.FLAT),
+                _p(ActionTask.COMP, Phase.FLAT),
+                _p(ActionTask.COMM2_C, Phase.FLAT, ROUTINE_PAIRING[first]),
+                _p(ActionTask.DECOMP, Phase.FLAT),
+            ]
+        )
+    return paths
+
+
+def _hierarchical_paths() -> List[List[ProtoAction]]:
+    """The hierarchical half of the tree (flat comm? = No).
+
+    Intra-machine communication always uses a divisible scheme
+    (Dimension 4 of §4.2.1).
+    """
+    paths: List[List[ProtoAction]] = []
+    # First intra step on the uncompressed tensor.
+    for first in (_RS, _RED):
+        head = [_p(ActionTask.COMM1, Phase.INTRA1, first)]
+        for t3 in _t3(ROUTINE_PAIRING[first]):
+            paths.append(head + t3)
+    # Compress before the first intra step.
+    for first in (_A2A, _GTH):
+        head = [
+            _p(ActionTask.COMP, Phase.INTRA1),
+            _p(ActionTask.COMM1_C, Phase.INTRA1, first),
+            *_receive_block(Phase.INTRA1),
+        ]
+        second = ROUTINE_PAIRING[first]
+        # Proceed to the inter phase uncompressed...
+        for t3 in _t3(second):
+            paths.append(head + t3)
+        # ...or re-compress the intra aggregate for the inter phase.
+        for t4 in _t4(second):
+            paths.append(head + [_p(ActionTask.COMP, Phase.INTRA1)] + t4)
+    return paths
+
+
+def structural_paths() -> List[Path]:
+    """All device-unassigned root-to-End paths of the decision tree."""
+    return [tuple(p) for p in _flat_paths() + _hierarchical_paths()]
+
+
+def _instantiate(path: Path, devices: Sequence[Device]) -> CompressionOption:
+    """Bind a device assignment to a path's device tasks."""
+    device_iter = iter(devices)
+    actions = []
+    flat = path[0].phase is Phase.FLAT
+    for proto in path:
+        if proto.needs_device:
+            actions.append(
+                Action(task=proto.task, phase=proto.phase, device=next(device_iter))
+            )
+        else:
+            actions.append(
+                Action(task=proto.task, phase=proto.phase, routine=proto.routine)
+            )
+    return CompressionOption(actions=tuple(actions), flat=flat)
+
+
+def enumerate_options(
+    mode: str = "uniform",
+    include_flat: bool = True,
+    include_rooted: bool = True,
+) -> List[CompressionOption]:
+    """Enumerate compression options from the decision tree.
+
+    Args:
+        mode: device-assignment mode — ``"uniform"``, ``"independent"``,
+            ``"gpu"``, or ``"cpu"`` (see module docstring).
+        include_flat: include flat-communication options.
+        include_rooted: include Reduce/Broadcast/Gather-based schemes
+            (dominated under the alpha-beta models for p > 2, but part of
+            the paper's full search space).
+    """
+    rooted = {_RED, _BC, _GTH}
+    options: List[CompressionOption] = []
+    for path in structural_paths():
+        if not include_flat and path[0].phase is Phase.FLAT:
+            continue
+        if not include_rooted and any(
+            proto.routine in rooted for proto in path if proto.routine
+        ):
+            continue
+        slots = sum(1 for proto in path if proto.needs_device)
+        if slots == 0:
+            options.append(_instantiate(path, ()))
+        elif mode == "uniform":
+            for device in (Device.GPU, Device.CPU):
+                options.append(_instantiate(path, (device,) * slots))
+        elif mode == "gpu":
+            options.append(_instantiate(path, (Device.GPU,) * slots))
+        elif mode == "cpu":
+            options.append(_instantiate(path, (Device.CPU,) * slots))
+        elif mode == "independent":
+            for assignment in itertools.product((Device.GPU, Device.CPU), repeat=slots):
+                options.append(_instantiate(path, assignment))
+        else:
+            raise ValueError(f"unknown device mode {mode!r}")
+    return options
+
+
+def search_space_size(mode: str = "independent") -> int:
+    """|C| under the given device-assignment mode (Table 3's search space)."""
+    return len(enumerate_options(mode=mode))
+
+
+def constrain_options(
+    options: Sequence[CompressionOption],
+    max_compression_ops: Optional[int] = None,
+    allow_intra_compression: bool = True,
+    allow_flat: bool = True,
+    devices: Optional[Sequence[Device]] = None,
+) -> List[CompressionOption]:
+    """User-supplied pruning of the search space (§4.2.2's extensibility).
+
+    The paper notes users may "manually add constraints to prune the
+    decision tree to rule out undesirable compression options", e.g.
+    limiting the number of compression operations per tensor to bound
+    the accuracy impact of repeated lossy re-compression.
+
+    Args:
+        options: the options to filter (e.g. ``enumerate_options()``).
+        max_compression_ops: maximum COMP actions on a path (each is a
+            lossy step for sparsifiers).
+        allow_intra_compression: drop options that compress intra-machine
+            traffic when False.
+        allow_flat: drop flat-communication options when False.
+        devices: restrict compression to these devices when given.
+    """
+    from repro.core.options import ActionTask
+
+    kept: List[CompressionOption] = []
+    allowed = set(devices) if devices is not None else None
+    for option in options:
+        if max_compression_ops is not None:
+            comp_ops = sum(
+                1 for a in option.actions if a.task is ActionTask.COMP
+            )
+            if comp_ops > max_compression_ops:
+                continue
+        if not allow_intra_compression and option.compresses_intra:
+            continue
+        if not allow_flat and option.flat:
+            continue
+        if allowed is not None and any(
+            d not in allowed for d in option.devices
+        ):
+            continue
+        kept.append(option)
+    return kept

@@ -1,0 +1,44 @@
+"""Experiment harness: sweeps, Upper-Bound gaps, CDFs, and the Fig. 15
+dimension ablations."""
+
+from repro.eval.ablation import (
+    DIMENSION_MECHANISMS,
+    all_compression,
+    alltoall_alltoall,
+    cpu_only,
+    dimension_ablation,
+    full_espresso,
+    gpu_only,
+    inter_allgather,
+    inter_alltoall,
+    myopic_compression,
+    restricted_espresso,
+)
+from repro.eval.experiments import (
+    SweepPoint,
+    cdf,
+    gpu_count_sweep,
+    make_job,
+    run_systems,
+    upper_bound_gaps,
+)
+
+__all__ = [
+    "make_job",
+    "run_systems",
+    "gpu_count_sweep",
+    "SweepPoint",
+    "upper_bound_gaps",
+    "cdf",
+    "dimension_ablation",
+    "DIMENSION_MECHANISMS",
+    "restricted_espresso",
+    "all_compression",
+    "myopic_compression",
+    "gpu_only",
+    "cpu_only",
+    "inter_allgather",
+    "inter_alltoall",
+    "alltoall_alltoall",
+    "full_espresso",
+]

@@ -1,0 +1,98 @@
+"""End-to-end experiment helpers shared by the benchmark harness.
+
+These functions regenerate the paper's evaluation series: throughput
+sweeps over GPU counts (Figs. 12/13), scaling-factor tables (Table 1),
+and performance-difference-from-Upper-Bound distributions (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import ALL_SYSTEMS, BaselineResult, BaselineSystem, UpperBound
+from repro.cluster.topology import ClusterSpec
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.models.base import ModelProfile
+
+
+def make_job(
+    model: ModelProfile, gc: GCInfo, cluster: ClusterSpec
+) -> JobConfig:
+    """Convenience constructor with default device profiles."""
+    return JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+
+
+def run_systems(
+    job: JobConfig,
+    systems: Sequence[type] = ALL_SYSTEMS,
+) -> Dict[str, BaselineResult]:
+    """Evaluate each system class on ``job``; returns {name: result}."""
+    results: Dict[str, BaselineResult] = {}
+    for system_cls in systems:
+        system: BaselineSystem = system_cls()
+        results[system.name] = system.run(job)
+    return results
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (GPU count, system) measurement of a throughput sweep."""
+
+    num_gpus: int
+    system: str
+    throughput: float
+    scaling_factor: float
+
+
+def gpu_count_sweep(
+    model: ModelProfile,
+    gc: GCInfo,
+    cluster_factory: Callable[[int], ClusterSpec],
+    machine_counts: Sequence[int] = (1, 2, 4, 8),
+    systems: Sequence[type] = ALL_SYSTEMS,
+) -> List[SweepPoint]:
+    """The Figs. 12/13 sweep: throughput of every system from 8 to 64 GPUs.
+
+    ``cluster_factory(num_machines)`` builds the testbed at each scale.
+    """
+    points: List[SweepPoint] = []
+    for machines in machine_counts:
+        cluster = cluster_factory(machines)
+        job = make_job(model, gc, cluster)
+        for name, result in run_systems(job, systems).items():
+            points.append(
+                SweepPoint(
+                    num_gpus=cluster.total_gpus,
+                    system=name,
+                    throughput=result.throughput,
+                    scaling_factor=result.scaling_factor,
+                )
+            )
+    return points
+
+
+def upper_bound_gaps(
+    job: JobConfig, systems: Sequence[type] = ALL_SYSTEMS
+) -> Dict[str, float]:
+    """Percent performance difference of each system from Upper Bound.
+
+    The Fig. 14 metric: ``(UB - throughput) / UB * 100``, clamped at 0
+    (a heuristic bound can occasionally be grazed).
+    """
+    bound = UpperBound().run(job).throughput
+    gaps: Dict[str, float] = {}
+    for name, result in run_systems(job, systems).items():
+        gaps[name] = max(0.0, (bound - result.throughput) / bound * 100.0)
+    return gaps
+
+
+def cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions)."""
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        raise ValueError("cdf of no values")
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions

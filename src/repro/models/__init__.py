@@ -1,0 +1,23 @@
+"""Model zoo: per-tensor (size, backprop-time) profiles of the paper's six
+benchmark DNNs, plus synthetic didactic jobs for the illustrative figures."""
+
+from repro.models.base import ModelProfile, TensorProfile, build_profile
+from repro.models.synthetic import (
+    synthetic_model,
+    three_tensor_job,
+    two_tensor_job,
+    uniform_model,
+)
+from repro.models.zoo import available_models, get_model
+
+__all__ = [
+    "ModelProfile",
+    "TensorProfile",
+    "build_profile",
+    "available_models",
+    "get_model",
+    "synthetic_model",
+    "three_tensor_job",
+    "two_tensor_job",
+    "uniform_model",
+]

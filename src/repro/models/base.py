@@ -1,0 +1,154 @@
+"""Model profiles: the "DNN model information" input of the paper (Fig. 6).
+
+A :class:`ModelProfile` is the per-tensor (size, backprop compute time)
+sequence plus forward time and batch metadata — everything Espresso's
+empirical models consume.  Tensors are ordered by **backprop completion
+order**: ``tensors[0]`` finishes first during backward propagation.
+
+Paper convention (Fig. 9 / Lemma 1): the tensor computed *last* during
+backward propagation is "closest to the output layer"; we expose that as
+``distance_to_output`` (0 for the last tensor) so the decision algorithm
+can use the paper's exact tie-breaking language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.compression.base import FP32_BYTES
+from repro.utils.units import MB
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TensorProfile:
+    """One gradient tensor of a DNN model.
+
+    Attributes:
+        name: layer/parameter name, for readable timelines.
+        num_elements: number of FP32 gradient elements.
+        compute_time: backprop computation time of this tensor, seconds.
+    """
+
+    name: str
+    num_elements: int
+    compute_time: float
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(
+                f"tensor {self.name!r}: num_elements must be >= 1, "
+                f"got {self.num_elements}"
+            )
+        check_non_negative(f"tensor {self.name!r} compute_time", self.compute_time)
+
+    @property
+    def nbytes(self) -> int:
+        """FP32 size in bytes."""
+        return self.num_elements * FP32_BYTES
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A DNN training job's model-side description.
+
+    Attributes:
+        name: model name (e.g. ``"bert-base"``).
+        tensors: gradient tensors in backprop completion order.
+        forward_time: forward-pass time per iteration, seconds.
+        batch_size: per-GPU batch size (samples of ``sample_unit``).
+        sample_unit: throughput unit — ``"images"`` or ``"tokens"``.
+        dataset: dataset name (documentation only).
+    """
+
+    name: str
+    tensors: Tuple[TensorProfile, ...]
+    forward_time: float
+    batch_size: int
+    sample_unit: str = "images"
+    dataset: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if not self.tensors:
+            raise ValueError(f"model {self.name!r} has no tensors")
+        check_positive("forward_time", self.forward_time)
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.tensors)
+
+    @property
+    def backward_time(self) -> float:
+        """Total backprop computation time, seconds."""
+        return sum(t.compute_time for t in self.tensors)
+
+    @property
+    def iteration_compute_time(self) -> float:
+        """Single-GPU iteration time (forward + backward), no comm."""
+        return self.forward_time + self.backward_time
+
+    @property
+    def total_bytes(self) -> int:
+        """Model gradient size in bytes (Table 4's "Model size")."""
+        return sum(t.nbytes for t in self.tensors)
+
+    @property
+    def size_mb(self) -> float:
+        return self.total_bytes / MB
+
+    def distance_to_output(self, index: int) -> int:
+        """Paper's distance to the output layer for ``tensors[index]``.
+
+        The tensor computed last in backprop has distance 0 (Fig. 9's T2).
+        """
+        if not 0 <= index < len(self.tensors):
+            raise IndexError(f"tensor index {index} out of range")
+        return len(self.tensors) - 1 - index
+
+    def single_gpu_throughput(self) -> float:
+        """Samples/second on one GPU (the T of the scaling factor)."""
+        return self.batch_size / self.iteration_compute_time
+
+
+def _normalize_times(
+    weights: Sequence[float], target_total: float
+) -> List[float]:
+    """Scale nonnegative ``weights`` so they sum to ``target_total``."""
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("compute-time weights must have positive sum")
+    return [w / total * target_total for w in weights]
+
+
+def build_profile(
+    name: str,
+    layers: Iterable[Tuple[str, int, float]],
+    backward_time: float,
+    forward_time: float,
+    batch_size: int,
+    sample_unit: str,
+    dataset: str,
+) -> ModelProfile:
+    """Assemble a :class:`ModelProfile` from (name, elements, weight) layers.
+
+    ``layers`` must be in backprop completion order.  Each layer's third
+    field is a relative compute weight; weights are normalized so the
+    backward pass sums to ``backward_time`` seconds.
+    """
+    layer_list = list(layers)
+    times = _normalize_times([w for _, _, w in layer_list], backward_time)
+    tensors = tuple(
+        TensorProfile(name=layer_name, num_elements=elements, compute_time=t)
+        for (layer_name, elements, _), t in zip(layer_list, times)
+    )
+    return ModelProfile(
+        name=name,
+        tensors=tensors,
+        forward_time=forward_time,
+        batch_size=batch_size,
+        sample_unit=sample_unit,
+        dataset=dataset,
+    )

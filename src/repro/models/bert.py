@@ -1,0 +1,81 @@
+"""BERT-base profile (Devlin et al.) — 207 gradient tensors, ~420 MB.
+
+12 transformer encoder layers (hidden 768, FFN 3072), embeddings, and the
+task heads (pooler, SQuAD QA head, MLM transform) that bring the tensor
+count to the paper's 207.  Because every encoder layer repeats the same
+parameter shapes, the profile has only a handful of distinct tensor sizes
+— the property Fig. 11 of the paper shows and Algorithm 2's grouping
+exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+_HIDDEN = 768
+_FFN = 3072
+_LAYERS = 12
+_VOCAB = 30522
+_MAX_POS = 512
+
+_BIAS_WEIGHT = 0.02
+_LN_WEIGHT = 0.05
+_BACKWARD_TIME = 0.060
+_FORWARD_TIME = 0.030
+
+
+def _dense(name: str, fan_in: int, fan_out: int, out: list, scale: float = 1.0) -> None:
+    params = fan_in * fan_out
+    out.append((f"{name}.weight", params, params * scale))
+    out.append((f"{name}.bias", fan_out, params * scale * _BIAS_WEIGHT))
+
+
+def _layernorm(name: str, size: int, out: list) -> None:
+    out.append((f"{name}.weight", size, size * _LN_WEIGHT))
+    out.append((f"{name}.bias", size, size * _LN_WEIGHT))
+
+
+def _forward_order_layers() -> List[Tuple[str, int, float]]:
+    layers: List[Tuple[str, int, float]] = []
+    # Embeddings (word/position/type + LayerNorm): 5 tensors.  Embedding
+    # backward is a scatter-add, far cheaper per parameter than a matmul.
+    layers.append(("embeddings.word", _VOCAB * _HIDDEN, _VOCAB * _HIDDEN * 0.05))
+    layers.append(("embeddings.position", _MAX_POS * _HIDDEN, _MAX_POS * _HIDDEN * 0.05))
+    layers.append(("embeddings.token_type", 2 * _HIDDEN, 2 * _HIDDEN * 0.05))
+    _layernorm("embeddings.ln", _HIDDEN, layers)
+    # 12 encoder layers x 16 tensors = 192.
+    for i in range(_LAYERS):
+        prefix = f"encoder.{i}"
+        _dense(f"{prefix}.attention.query", _HIDDEN, _HIDDEN, layers)
+        _dense(f"{prefix}.attention.key", _HIDDEN, _HIDDEN, layers)
+        _dense(f"{prefix}.attention.value", _HIDDEN, _HIDDEN, layers)
+        _dense(f"{prefix}.attention.output", _HIDDEN, _HIDDEN, layers)
+        _layernorm(f"{prefix}.attention.ln", _HIDDEN, layers)
+        _dense(f"{prefix}.ffn.intermediate", _HIDDEN, _FFN, layers)
+        _dense(f"{prefix}.ffn.output", _FFN, _HIDDEN, layers)
+        _layernorm(f"{prefix}.ffn.ln", _HIDDEN, layers)
+    # Heads: pooler (2) + MLM transform dense (2) + MLM LN (2) + MLM
+    # decoder bias (1) + seq-relationship bias (1) + QA head (2) = 10.
+    _dense("pooler", _HIDDEN, _HIDDEN, layers)
+    _dense("mlm.transform", _HIDDEN, _HIDDEN, layers)
+    _layernorm("mlm.ln", _HIDDEN, layers)
+    layers.append(("mlm.decoder.bias", _VOCAB, _VOCAB * _LN_WEIGHT))
+    layers.append(("seq_relationship.bias", 2, 2 * _LN_WEIGHT))
+    _dense("qa_outputs", _HIDDEN, 2, layers)
+    return layers
+
+
+def bert_base() -> ModelProfile:
+    """Build the BERT-base profile of the paper's Table 4."""
+    layers = list(reversed(_forward_order_layers()))
+    return build_profile(
+        name="bert-base",
+        layers=layers,
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=1024,
+        sample_unit="tokens",
+        dataset="squad",
+    )

@@ -1,0 +1,68 @@
+"""GPT2 (small) profile (Radford et al.) — 148 gradient tensors, ~475 MB.
+
+Token + position embeddings, 12 transformer decoder blocks (hidden 768,
+fused QKV projection, FFN 3072), final LayerNorm.  The LM head shares the
+token-embedding weight, so it contributes no extra tensor — exactly the
+148-tensor count the paper reports (Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+_HIDDEN = 768
+_FFN = 3072
+_LAYERS = 12
+_VOCAB = 50257
+_MAX_POS = 1024
+
+_BIAS_WEIGHT = 0.02
+_LN_WEIGHT = 0.05
+_BACKWARD_TIME = 0.065
+_FORWARD_TIME = 0.032
+
+
+def _dense(name: str, fan_in: int, fan_out: int, out: list) -> None:
+    params = fan_in * fan_out
+    out.append((f"{name}.weight", params, params * 1.0))
+    out.append((f"{name}.bias", fan_out, params * _BIAS_WEIGHT))
+
+
+def _layernorm(name: str, size: int, out: list) -> None:
+    out.append((f"{name}.weight", size, size * _LN_WEIGHT))
+    out.append((f"{name}.bias", size, size * _LN_WEIGHT))
+
+
+def _forward_order_layers() -> List[Tuple[str, int, float]]:
+    layers: List[Tuple[str, int, float]] = []
+    # wte backward is a scatter-add (tied with the LM head, which adds a
+    # dense matmul contribution — hence a larger weight than BERT's).
+    layers.append(("wte", _VOCAB * _HIDDEN, _VOCAB * _HIDDEN * 0.3))
+    layers.append(("wpe", _MAX_POS * _HIDDEN, _MAX_POS * _HIDDEN * 0.05))
+    # 12 blocks x 12 tensors = 144.
+    for i in range(_LAYERS):
+        prefix = f"h.{i}"
+        _layernorm(f"{prefix}.ln_1", _HIDDEN, layers)
+        _dense(f"{prefix}.attn.c_attn", _HIDDEN, 3 * _HIDDEN, layers)
+        _dense(f"{prefix}.attn.c_proj", _HIDDEN, _HIDDEN, layers)
+        _layernorm(f"{prefix}.ln_2", _HIDDEN, layers)
+        _dense(f"{prefix}.mlp.c_fc", _HIDDEN, _FFN, layers)
+        _dense(f"{prefix}.mlp.c_proj", _FFN, _HIDDEN, layers)
+    _layernorm("ln_f", _HIDDEN, layers)
+    return layers
+
+
+def gpt2() -> ModelProfile:
+    """Build the GPT2 profile of the paper's Table 4."""
+    layers = list(reversed(_forward_order_layers()))
+    return build_profile(
+        name="gpt2",
+        layers=layers,
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=80,
+        sample_unit="tokens",
+        dataset="wikitext-2",
+    )

@@ -1,0 +1,54 @@
+"""LSTM language-model profile (Merity et al.) — 10 gradient tensors, ~328 MB.
+
+A large 3-layer LSTM with a tied embedding/decoder, the paper's worst case
+for GC: only 10 tensors, dominated by a few huge recurrent matrices, on
+the bandwidth-starved PCIe/25 Gbps testbed (Table 1 shows GC *slows down*
+this model).  Recurrent backprop is time-step sequential, so the backward
+pass is long relative to the model's FLOPs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+_VOCAB = 33278
+_EMBED = 1150
+_HIDDEN = 1500
+
+_BACKWARD_TIME = 0.100
+_FORWARD_TIME = 0.050
+
+#: (layer name, input size, hidden size) in forward order.
+_LSTM_LAYERS = [
+    ("lstm1", _EMBED, _HIDDEN),
+    ("lstm2", _HIDDEN, _HIDDEN),
+    ("lstm3", _HIDDEN, _EMBED),
+]
+
+
+def _forward_order_layers() -> List[Tuple[str, int, float]]:
+    layers: List[Tuple[str, int, float]] = []
+    layers.append(("embedding", _VOCAB * _EMBED, _VOCAB * _EMBED * 0.15))
+    for name, fan_in, hidden in _LSTM_LAYERS:
+        w_ih = 4 * hidden * fan_in
+        w_hh = 4 * hidden * hidden
+        layers.append((f"{name}.weight_ih", w_ih, w_ih * 1.0))
+        layers.append((f"{name}.weight_hh", w_hh, w_hh * 1.0))
+        layers.append((f"{name}.bias", 4 * hidden, 4 * hidden * 0.02))
+    return layers
+
+
+def lstm() -> ModelProfile:
+    """Build the LSTM profile of the paper's Table 4."""
+    layers = list(reversed(_forward_order_layers()))
+    return build_profile(
+        name="lstm",
+        layers=layers,
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=80,
+        sample_unit="tokens",
+        dataset="wikitext-2",
+    )

@@ -1,0 +1,77 @@
+"""ResNet101 profile (He et al.) — 314 gradient tensors, ~170 MB.
+
+The full bottleneck structure is generated: conv1 + bn1, four stages of
+[3, 4, 23, 3] bottleneck blocks (1x1 / 3x3 / 1x1 convs, each followed by a
+BatchNorm contributing weight+bias tensors), downsample projections at the
+first block of every stage, and the final classifier.  This reproduces the
+paper's tensor count (314) and the long tail of tiny BatchNorm tensors
+that makes ResNet101 the stress test for Espresso's selection time
+(Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+#: Blocks per stage for ResNet101.
+_STAGE_BLOCKS = [3, 4, 23, 3]
+#: (mid_channels, output spatial side) per stage.
+_STAGE_CFG = [(64, 56), (128, 28), (256, 14), (512, 7)]
+
+_BIAS_WEIGHT = 0.5  # BN backward is cheap but not free relative to params
+_BACKWARD_TIME = 0.097
+_FORWARD_TIME = 0.048
+
+
+def _conv(name: str, k: int, cin: int, cout: int, spatial: int, out: list) -> None:
+    params = k * k * cin * cout
+    out.append((f"{name}.weight", params, params * spatial * spatial / 1e4))
+
+
+def _bn(name: str, channels: int, out: list) -> None:
+    weight = channels * _BIAS_WEIGHT / 1e2
+    out.append((f"{name}.weight", channels, weight))
+    out.append((f"{name}.bias", channels, weight))
+
+
+def _forward_order_layers() -> List[Tuple[str, int, float]]:
+    layers: List[Tuple[str, int, float]] = []
+    _conv("conv1", 7, 3, 64, 112, layers)
+    _bn("bn1", 64, layers)
+    in_ch = 64
+    for stage, (blocks, (mid, spatial)) in enumerate(
+        zip(_STAGE_BLOCKS, _STAGE_CFG), start=1
+    ):
+        out_ch = mid * 4
+        for block in range(blocks):
+            prefix = f"layer{stage}.{block}"
+            _conv(f"{prefix}.conv1", 1, in_ch, mid, spatial, layers)
+            _bn(f"{prefix}.bn1", mid, layers)
+            _conv(f"{prefix}.conv2", 3, mid, mid, spatial, layers)
+            _bn(f"{prefix}.bn2", mid, layers)
+            _conv(f"{prefix}.conv3", 1, mid, out_ch, spatial, layers)
+            _bn(f"{prefix}.bn3", out_ch, layers)
+            if block == 0:
+                _conv(f"{prefix}.downsample", 1, in_ch, out_ch, spatial, layers)
+                _bn(f"{prefix}.downsample_bn", out_ch, layers)
+            in_ch = out_ch
+    fc_params = 2048 * 1000
+    layers.append(("fc.weight", fc_params, fc_params / 1e2))
+    layers.append(("fc.bias", 1000, 1000 * _BIAS_WEIGHT / 1e2))
+    return layers
+
+
+def resnet101() -> ModelProfile:
+    """Build the ResNet101 profile of the paper's Table 4."""
+    layers = list(reversed(_forward_order_layers()))
+    return build_profile(
+        name="resnet101",
+        layers=layers,
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=32,
+        sample_unit="images",
+        dataset="imagenet",
+    )

@@ -1,0 +1,82 @@
+"""Synthetic didactic models used in tests and to regenerate the paper's
+illustrative timelines (Figs. 2, 5, and 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.models.base import ModelProfile, TensorProfile
+from repro.utils.units import MB, MS
+
+
+def synthetic_model(
+    name: str,
+    tensors: Sequence[Tuple[int, float]],
+    forward_time: float = 10 * MS,
+    batch_size: int = 32,
+) -> ModelProfile:
+    """Build a model from explicit (num_elements, compute_time) pairs.
+
+    ``tensors`` are in backprop completion order.
+    """
+    profiles = tuple(
+        TensorProfile(name=f"T{i}", num_elements=elements, compute_time=t)
+        for i, (elements, t) in enumerate(tensors)
+    )
+    return ModelProfile(
+        name=name,
+        tensors=profiles,
+        forward_time=forward_time,
+        batch_size=batch_size,
+        sample_unit="images",
+        dataset="synthetic",
+    )
+
+
+def three_tensor_job() -> ModelProfile:
+    """The Fig. 2 example: three tensors T0, T1, T2.
+
+    Sized so that without GC T0's communication fully overlaps with
+    computation while T2's is fully exposed, reproducing the paper's
+    didactic timeline.
+    """
+    return synthetic_model(
+        "fig2-job",
+        [
+            (int(8 * MB / 4), 20 * MS),  # T0
+            (int(24 * MB / 4), 25 * MS),  # T1
+            (int(32 * MB / 4), 15 * MS),  # T2
+        ],
+        forward_time=20 * MS,
+    )
+
+
+def two_tensor_job(
+    t0_mb: float = 32.0,
+    t1_mb: float = 8.0,
+    t0_time: float = 15 * MS,
+    t1_time: float = 30 * MS,
+) -> ModelProfile:
+    """A two-tensor job for the Fig. 5 scheme-interaction examples."""
+    return synthetic_model(
+        "fig5-job",
+        [
+            (int(t0_mb * MB / 4), t0_time),
+            (int(t1_mb * MB / 4), t1_time),
+        ],
+        forward_time=15 * MS,
+    )
+
+
+def uniform_model(
+    num_tensors: int,
+    tensor_mb: float = 16.0,
+    compute_ms: float = 8.0,
+    forward_ms: float = 30.0,
+) -> ModelProfile:
+    """A model of ``num_tensors`` identical tensors (property-test fodder)."""
+    return synthetic_model(
+        f"uniform-{num_tensors}",
+        [(int(tensor_mb * MB / 4), compute_ms * MS)] * num_tensors,
+        forward_time=forward_ms * MS,
+    )

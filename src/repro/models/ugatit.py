@@ -1,0 +1,96 @@
+"""U-GAT-IT profile (Kim et al.) — 148 gradient tensors, ~2559 MB.
+
+An image-to-image GAN with two generators and four discriminators.  The
+real U-GAT-IT is famously parameter-heavy because the generators' AdaLIN
+gamma/beta MLPs take the *flattened feature map* as input, creating a few
+enormous fully-connected tensors; the conv stacks add many mid-sized and
+small tensors.  We reproduce that highly skewed size distribution at the
+paper's total size (~2.5 GB) and tensor count (148).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+_BACKWARD_TIME = 0.320
+_FORWARD_TIME = 0.180
+
+#: Flattened 64x64 x 256-channel feature map feeding the AdaLIN MLP —
+#: the source of U-GAT-IT's enormous fully-connected weight (~268M params).
+_FLAT_FEATURES = 64 * 64 * 256
+_NGF4 = 256
+
+
+def _conv(name: str, k: int, cin: int, cout: int, spatial: int, out: list) -> None:
+    params = k * k * cin * cout
+    out.append((f"{name}.weight", params, params * spatial * spatial / 1e4))
+    out.append((f"{name}.bias", cout, cout * 0.01))
+
+
+def _dense(name: str, fan_in: int, fan_out: int, out: list) -> None:
+    params = fan_in * fan_out
+    out.append((f"{name}.weight", params, params * 0.4))
+    out.append((f"{name}.bias", fan_out, fan_out * 0.01))
+
+
+def _rho(name: str, channels: int, out: list) -> None:
+    """AdaLIN's learnable layer/instance-norm mixing parameter."""
+    out.append((f"{name}.rho", channels, channels * 0.01))
+
+
+def _generator(prefix: str, out: list) -> None:
+    """One generator: downsampling convs, AdaLIN MLPs, resblocks, upsampling."""
+    _conv(f"{prefix}.down1", 7, 3, 64, 256, out)
+    _conv(f"{prefix}.down2", 3, 64, 128, 128, out)
+    _conv(f"{prefix}.down3", 3, 128, 256, 64, out)
+    # The giant AdaLIN MLP: flattened feature map -> style code -> gamma/beta.
+    _dense(f"{prefix}.fc", _FLAT_FEATURES, _NGF4, out)
+    _dense(f"{prefix}.gamma", _NGF4, _NGF4, out)
+    _dense(f"{prefix}.beta", _NGF4, _NGF4, out)
+    for i in range(5):
+        _conv(f"{prefix}.resblock{i}.conv1", 3, 256, 256, 64, out)
+        _rho(f"{prefix}.resblock{i}.norm1", 256, out)
+        _conv(f"{prefix}.resblock{i}.conv2", 3, 256, 256, 64, out)
+        _rho(f"{prefix}.resblock{i}.norm2", 256, out)
+    _conv(f"{prefix}.up1", 3, 256, 128, 128, out)
+    _rho(f"{prefix}.up1.norm", 128, out)
+    _conv(f"{prefix}.up2", 3, 128, 64, 256, out)
+    _rho(f"{prefix}.up2.norm", 64, out)
+    _conv(f"{prefix}.out", 7, 64, 3, 256, out)
+
+
+def _discriminator(prefix: str, depth: int, out: list) -> None:
+    """A PatchGAN discriminator with ``depth`` conv layers."""
+    channels = [3, 64, 128, 256, 512, 1024, 2048]
+    spatial = 128
+    for i in range(depth):
+        _conv(f"{prefix}.conv{i}", 4, channels[i], channels[i + 1], spatial, out)
+        spatial = max(8, spatial // 2)
+    _dense(f"{prefix}.logit", channels[depth], 1, out)
+
+
+def _forward_order_layers() -> List[Tuple[str, int, float]]:
+    layers: List[Tuple[str, int, float]] = []
+    _generator("genA2B", layers)
+    _generator("genB2A", layers)
+    _discriminator("disGA", 6, layers)
+    _discriminator("disGB", 6, layers)
+    _discriminator("disLA", 4, layers)
+    _discriminator("disLB", 4, layers)
+    return layers
+
+
+def ugatit() -> ModelProfile:
+    """Build the U-GAT-IT profile of the paper's Table 4."""
+    layers = list(reversed(_forward_order_layers()))
+    return build_profile(
+        name="ugatit",
+        layers=layers,
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=2,
+        sample_unit="images",
+        dataset="selfie2anime",
+    )

@@ -1,0 +1,71 @@
+"""VGG16 profile (Simonyan & Zisserman) — 32 gradient tensors, ~528 MB.
+
+13 convolutions + 3 fully-connected layers, each contributing a weight and
+a bias tensor.  Conv backprop cost scales with ``params x spatial``;
+fully-connected cost scales with params alone.  Times are calibrated to a
+V100 at batch 32 (ImageNet), the paper's Table 4 configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.base import ModelProfile, build_profile
+
+#: (name, in_channels, out_channels, output spatial side) in forward order.
+_CONVS = [
+    ("conv1_1", 3, 64, 224),
+    ("conv1_2", 64, 64, 224),
+    ("conv2_1", 64, 128, 112),
+    ("conv2_2", 128, 128, 112),
+    ("conv3_1", 128, 256, 56),
+    ("conv3_2", 256, 256, 56),
+    ("conv3_3", 256, 256, 56),
+    ("conv4_1", 256, 512, 28),
+    ("conv4_2", 512, 512, 28),
+    ("conv4_3", 512, 512, 28),
+    ("conv5_1", 512, 512, 14),
+    ("conv5_2", 512, 512, 14),
+    ("conv5_3", 512, 512, 14),
+]
+#: (name, in_features, out_features) in forward order.
+_FCS = [("fc6", 25088, 4096), ("fc7", 4096, 4096), ("fc8", 4096, 1000)]
+
+_KERNEL = 3 * 3
+#: Relative compute cost per parameter of an FC layer vs conv (convs reuse
+#: each weight spatial-many times, FCs once).
+_FC_WEIGHT_PER_PARAM = 1.0
+_BIAS_WEIGHT = 0.02
+
+_BACKWARD_TIME = 0.094
+_FORWARD_TIME = 0.045
+
+
+def _layers() -> List[Tuple[str, int, float]]:
+    """Tensors in backprop completion order (classifier first)."""
+    layers: List[Tuple[str, int, float]] = []
+    for name, fan_in, fan_out in reversed(_FCS):
+        params = fan_in * fan_out
+        weight = params * _FC_WEIGHT_PER_PARAM
+        layers.append((f"{name}.bias", fan_out, weight * _BIAS_WEIGHT))
+        layers.append((f"{name}.weight", params, weight))
+    for name, cin, cout, spatial in reversed(_CONVS):
+        params = _KERNEL * cin * cout
+        # Backprop of a conv touches each weight spatial^2 times.
+        weight = params * spatial * spatial / 1e4
+        layers.append((f"{name}.bias", cout, weight * _BIAS_WEIGHT))
+        layers.append((f"{name}.weight", params, weight))
+    return layers
+
+
+def vgg16() -> ModelProfile:
+    """Build the VGG16 profile of the paper's Table 4."""
+    return build_profile(
+        name="vgg16",
+        layers=_layers(),
+        backward_time=_BACKWARD_TIME,
+        forward_time=_FORWARD_TIME,
+        batch_size=32,
+        sample_unit="images",
+        dataset="imagenet",
+    )

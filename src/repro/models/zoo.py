@@ -1,0 +1,38 @@
+"""Registry for the benchmark model profiles (the paper's Table 4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import ModelProfile
+from repro.models.bert import bert_base
+from repro.models.gpt2 import gpt2
+from repro.models.lstm import lstm
+from repro.models.resnet101 import resnet101
+from repro.models.ugatit import ugatit
+from repro.models.vgg16 import vgg16
+
+_BUILDERS: Dict[str, Callable[[], ModelProfile]] = {
+    "vgg16": vgg16,
+    "resnet101": resnet101,
+    "ugatit": ugatit,
+    "bert-base": bert_base,
+    "gpt2": gpt2,
+    "lstm": lstm,
+}
+
+
+def available_models() -> List[str]:
+    """Names of the six paper models, in Table 4 order."""
+    return list(_BUILDERS)
+
+
+def get_model(name: str) -> ModelProfile:
+    """Build the profile registered under ``name``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return builder()

@@ -1,0 +1,26 @@
+"""Empirical time models (§4.3): device profiles, compression time models,
+real-kernel measurement, and execution-trace collection/averaging."""
+
+from repro.profiling.device import DeviceProfile, v100_gpu, xeon_cpu
+from repro.profiling.timing import (
+    CompressionTimeModel,
+    LinearModel,
+    fit_linear,
+    measure_compressor,
+    time_model,
+)
+from repro.profiling.tracer import TraceRecord, average_traces, collect_traces
+
+__all__ = [
+    "DeviceProfile",
+    "v100_gpu",
+    "xeon_cpu",
+    "CompressionTimeModel",
+    "LinearModel",
+    "fit_linear",
+    "measure_compressor",
+    "time_model",
+    "TraceRecord",
+    "collect_traces",
+    "average_traces",
+]

@@ -1,0 +1,94 @@
+"""Compute-device profiles for compression cost modelling.
+
+The paper profiles each GC algorithm's compress/decompress time on GPUs
+and CPUs (§4.3).  Without that hardware, we model a kernel's time as
+
+    launch_overhead + transfer_time + work_factor * nbytes / throughput
+
+where ``work_factor`` comes from the algorithm
+(:attr:`repro.compression.base.Compressor.work_factor`), and the device
+contributes the constant launch overhead — the term responsible for the
+paper's Fig. 10 observation that GPU compression pays off only for large
+tensors — plus a streaming throughput.  CPU devices additionally pay a
+host-device transfer over PCIe and expose multiple parallel workers
+(BytePS-style CPU compression spreads tensors across cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GBPS, US
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Cost-model parameters of one compression device.
+
+    Attributes:
+        name: human-readable device name.
+        kind: ``"gpu"`` or ``"cpu"``.
+        launch_overhead: constant seconds per kernel/op invocation.
+        throughput: bytes/second of one streaming pass over the data.
+        transfer_bw: host-device transfer bandwidth in bytes/s, or ``None``
+            when the data is already resident (GPU compression).
+        parallel_workers: how many tensors the device can compress
+            concurrently (CPU pools > 1; the GPU's compute stream is 1).
+    """
+
+    name: str
+    kind: str
+    launch_overhead: float
+    throughput: float
+    transfer_bw: float = None
+    parallel_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        check_non_negative("launch_overhead", self.launch_overhead)
+        check_positive("throughput", self.throughput)
+        if self.transfer_bw is not None:
+            check_positive("transfer_bw", self.transfer_bw)
+        if self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+
+def v100_gpu() -> DeviceProfile:
+    """A V100-class GPU running compression kernels on its compute stream."""
+    return DeviceProfile(
+        name="v100",
+        kind="gpu",
+        launch_overhead=30 * US,
+        throughput=30 * GBPS,
+        transfer_bw=None,
+        parallel_workers=1,
+    )
+
+
+def xeon_cpu(parallel_workers: int = 4) -> DeviceProfile:
+    """A 2x Xeon 8260 host compressing tensors on CPU cores.
+
+    Tensors reach the CPU over PCIe (the transfer term); a couple of
+    tensors can be compressed concurrently on different cores.  The
+    throughput is deliberately modest: the host's cores are shared by
+    all of the machine's GPU workers (the paper's testbed runs 8 GPU
+    processes against 48 cores), which is why the paper finds CPU
+    compression of large models (UGATIT, Table 1's LSTM) actively
+    harmful while small/cheap quantizers still overlap fine.
+    """
+    return DeviceProfile(
+        name="xeon-8260",
+        kind="cpu",
+        launch_overhead=20 * US,
+        throughput=3 * GBPS,
+        transfer_bw=12 * GBPS,
+        parallel_workers=parallel_workers,
+    )

@@ -1,0 +1,147 @@
+"""Compression time models built on device profiles.
+
+Also provides :func:`measure_compressor`, which does what the paper's
+profiler does (§4.3): run compress/decompress on a range of tensor sizes
+100 times and average — here against the real numpy kernels — and
+:func:`fit_linear`, the ``a + b * nbytes`` fit used to extrapolate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.profiling.device import DeviceProfile
+from repro.utils.validation import check_non_negative
+
+#: Decompression is a scatter/unpack over the output — cheaper than the
+#: selection/quantization pass of compression.
+_DECOMPRESS_WORK_FRACTION = 0.5
+#: Aggregating decompressed pieces is a single dense add pass.
+_AGGREGATE_WORK_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class CompressionTimeModel:
+    """Deterministic compress/decompress time on one device.
+
+    The paper requires GC algorithms to have deterministic compression
+    time given a tensor size (§4.3); this model is that function.
+    """
+
+    device: DeviceProfile
+    work_factor: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("work_factor", self.work_factor)
+
+    def _transfer_time(self, nbytes: int) -> float:
+        if self.device.transfer_bw is None:
+            return 0.0
+        return nbytes / self.device.transfer_bw
+
+    def compress_time(self, nbytes: int) -> float:
+        """Seconds to compress an ``nbytes`` FP32 tensor on this device."""
+        check_non_negative("nbytes", nbytes)
+        if self.work_factor == 0.0:
+            return 0.0
+        return (
+            self.device.launch_overhead
+            + self._transfer_time(nbytes)
+            + self.work_factor * nbytes / self.device.throughput
+        )
+
+    def decompress_time(self, nbytes: int) -> float:
+        """Seconds to decompress back to an ``nbytes`` FP32 tensor.
+
+        On CPU devices the dense result must travel back to the GPU, so
+        the transfer term is charged on the output.
+        """
+        check_non_negative("nbytes", nbytes)
+        if self.work_factor == 0.0:
+            return 0.0
+        return (
+            self.device.launch_overhead
+            + self._transfer_time(nbytes)
+            + self.work_factor
+            * _DECOMPRESS_WORK_FRACTION
+            * nbytes
+            / self.device.throughput
+        )
+
+    def aggregate_time(self, nbytes: int) -> float:
+        """Seconds to sum ``nbytes`` of decompressed pieces on this device.
+
+        Aggregation is a plain dense add over data already resident on
+        the device (it always directly follows a decompression there),
+        so no transfer term applies.  A zero ``work_factor`` (the
+        Upper Bound's free compression) zeroes this too: aggregation of
+        received pieces only exists because of compression.
+        """
+        check_non_negative("nbytes", nbytes)
+        if self.work_factor == 0.0:
+            return 0.0
+        return (
+            self.device.launch_overhead
+            + _AGGREGATE_WORK_FRACTION * nbytes / self.device.throughput
+        )
+
+
+def time_model(device: DeviceProfile, compressor: Compressor) -> CompressionTimeModel:
+    """The time model of ``compressor`` on ``device``."""
+    return CompressionTimeModel(device=device, work_factor=compressor.work_factor)
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted ``a + b * nbytes`` time model."""
+
+    intercept: float
+    slope: float
+
+    def __call__(self, nbytes: float) -> float:
+        return self.intercept + self.slope * nbytes
+
+
+def fit_linear(sizes: Sequence[float], times: Sequence[float]) -> LinearModel:
+    """Least-squares fit of ``times ~ a + b * sizes``."""
+    if len(sizes) != len(times):
+        raise ValueError("sizes and times must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(np.asarray(sizes, float), np.asarray(times, float), 1)
+    return LinearModel(intercept=float(intercept), slope=float(slope))
+
+
+def measure_compressor(
+    compressor: Compressor,
+    num_elements_list: Sequence[int],
+    repeats: int = 100,
+    seed: int = 0,
+) -> Dict[int, Tuple[float, float]]:
+    """Profile the *real* numpy kernels, the way the paper's profiler does.
+
+    Runs compress and decompress ``repeats`` times per size and averages.
+    Returns ``{num_elements: (compress_seconds, decompress_seconds)}``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rng = np.random.default_rng(seed)
+    results: Dict[int, Tuple[float, float]] = {}
+    for n in num_elements_list:
+        tensor = rng.standard_normal(n).astype(np.float32)
+        compressed = compressor.compress(tensor, seed=seed)
+        start = time.perf_counter()
+        for i in range(repeats):
+            compressed = compressor.compress(tensor, seed=seed + i)
+        compress_avg = (time.perf_counter() - start) / repeats
+        start = time.perf_counter()
+        for _ in range(repeats):
+            compressor.decompress(compressed)
+        decompress_avg = (time.perf_counter() - start) / repeats
+        results[n] = (compress_avg, decompress_avg)
+    return results

@@ -1,0 +1,141 @@
+"""Timeline analysis: iteration time, throughput, overheads, idle gaps.
+
+Implements the paper's §3 definitions on a simulated timeline:
+
+* communication time ``tau_comm`` / compression time ``tau_comp`` —
+  plain wall-clock sums;
+* communication overhead ``o_comm`` — communication time that does not
+  overlap with tensor computation of any tensor;
+* compression overhead ``o_comp`` — compression time that overlaps with
+  neither tensor computation nor communication of any tensor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cluster.topology import ClusterSpec
+from repro.models.base import ModelProfile
+from repro.sim.engine import Timeline
+from repro.sim.stages import AGGREGATE, COMM, COMPRESS, COMPUTE, DECOMPRESS
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Sequence[Interval]) -> List[Interval]:
+    """Merge overlapping/touching intervals into a disjoint sorted list."""
+    nonempty = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Interval] = []
+    for start, end in nonempty:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_length(intervals: Sequence[Interval]) -> float:
+    """Total covered length of (possibly overlapping) intervals."""
+    return sum(e - s for s, e in merge_intervals(intervals))
+
+
+def subtract_intervals(
+    intervals: Sequence[Interval], cover: Sequence[Interval]
+) -> List[Interval]:
+    """The parts of ``intervals`` not covered by ``cover``."""
+    result: List[Interval] = []
+    covered = merge_intervals(cover)
+    for start, end in merge_intervals(intervals):
+        cursor = start
+        for c_start, c_end in covered:
+            if c_end <= cursor:
+                continue
+            if c_start >= end:
+                break
+            if c_start > cursor:
+                result.append((cursor, c_start))
+            cursor = max(cursor, c_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            result.append((cursor, end))
+    return result
+
+
+def _intervals(timeline: Timeline, kinds: Sequence[str]) -> List[Interval]:
+    return [(s.start, s.end) for s in timeline.stages if s.kind in kinds]
+
+
+def communication_time(timeline: Timeline) -> float:
+    """Sum of all communication stage durations (tau_comm)."""
+    return sum(s.duration for s in timeline.stages if s.kind == COMM)
+
+
+def compression_time(timeline: Timeline) -> float:
+    """Sum of compression-related stage durations (tau_comp)."""
+    kinds = (COMPRESS, DECOMPRESS, AGGREGATE)
+    return sum(s.duration for s in timeline.stages if s.kind in kinds)
+
+
+def communication_overhead(timeline: Timeline) -> float:
+    """Communication time not overlapped by any tensor computation."""
+    comm = _intervals(timeline, (COMM,))
+    compute = _intervals(timeline, (COMPUTE,))
+    return total_length(subtract_intervals(comm, compute))
+
+
+def compression_overhead(timeline: Timeline) -> float:
+    """Compression time overlapped by neither computation nor communication."""
+    comp = _intervals(timeline, (COMPRESS, DECOMPRESS, AGGREGATE))
+    cover = _intervals(timeline, (COMPUTE, COMM))
+    return total_length(subtract_intervals(comp, cover))
+
+
+def idle_gaps(
+    timeline: Timeline, resource: str, horizon: float = None
+) -> List[Interval]:
+    """Idle periods of ``resource`` between its first and last activity.
+
+    These are the raw material of the paper's communication *bubbles*
+    (Fig. 9(a)): gaps where the link sits idle because the next tensor is
+    not ready yet.  ``horizon`` optionally extends the busy window to a
+    later time (e.g. the makespan).
+    """
+    busy = merge_intervals(
+        [(s.start, s.end) for s in timeline.stages if s.resource == resource]
+    )
+    if not busy:
+        return []
+    end = busy[-1][1] if horizon is None else max(horizon, busy[-1][1])
+    gaps: List[Interval] = []
+    cursor = busy[0][0]
+    for start, stop in busy:
+        if start > cursor:
+            gaps.append((cursor, start))
+        cursor = max(cursor, stop)
+    if horizon is not None and end > cursor:
+        gaps.append((cursor, end))
+    return gaps
+
+
+def iteration_time(timeline: Timeline, model: ModelProfile) -> float:
+    """Iteration wall-clock: forward pass + backprop/synchronization makespan.
+
+    Synchronous data parallelism: the next forward pass starts only after
+    every tensor is synchronized.
+    """
+    return model.forward_time + timeline.makespan
+
+
+def throughput(
+    model: ModelProfile, cluster: ClusterSpec, iteration_seconds: float
+) -> float:
+    """Cluster-wide samples/second at the given iteration time."""
+    if iteration_seconds <= 0:
+        raise ValueError(f"iteration time must be > 0, got {iteration_seconds}")
+    return model.batch_size * cluster.total_gpus / iteration_seconds
+
+
+def scaling_factor(model: ModelProfile, iteration_seconds: float) -> float:
+    """The paper's scaling factor T_n / (n * T): ideal linear scaling = 1."""
+    return model.iteration_compute_time / iteration_seconds

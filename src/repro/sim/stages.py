@@ -1,0 +1,95 @@
+"""Stage and resource vocabulary of the DDL timeline simulator.
+
+A training iteration is simulated as, per tensor, a **chain of stages**
+(backprop compute, then the communication/compression pipeline its
+compression option prescribes).  Stages execute on named resources; the
+engine (:mod:`repro.sim.engine`) schedules them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.utils.validation import check_non_negative
+
+#: Resource names.  One representative worker is simulated: its GPU
+#: compute stream (backprop + GPU compression kernels share it — that is
+#: the contention of the paper's Fig. 2(c)), the host CPU compression
+#: pool, and the two communication links.
+GPU = "gpu"
+CPU = "cpu"
+INTRA = "intra"
+INTER = "inter"
+RESOURCES = (GPU, CPU, INTRA, INTER)
+
+#: Stage kinds.
+COMPUTE = "compute"
+COMPRESS = "compress"
+DECOMPRESS = "decompress"
+AGGREGATE = "aggregate"
+COMM = "comm"
+KINDS = (COMPUTE, COMPRESS, DECOMPRESS, AGGREGATE, COMM)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One step of a tensor's iteration pipeline.
+
+    Attributes:
+        resource: which resource executes the stage.
+        duration: seconds of resource occupancy.
+        kind: one of :data:`KINDS`.
+        label: free-form annotation (routine name, device, phase).
+    """
+
+    resource: str
+    duration: float
+    kind: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resource not in RESOURCES:
+            raise ValueError(f"unknown resource {self.resource!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+        check_non_negative("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class TensorChain:
+    """A tensor's full stage chain, starting with its backprop compute."""
+
+    tensor_index: int
+    stages: Sequence[Stage]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a tensor chain needs at least one stage")
+        if self.stages[0].kind != COMPUTE:
+            raise ValueError("the first stage of a chain must be the compute stage")
+        for stage in self.stages[1:]:
+            if stage.kind == COMPUTE:
+                raise ValueError("only the first stage may be a compute stage")
+
+
+def compute_stage(duration: float) -> Stage:
+    """The backprop computation stage of a tensor."""
+    return Stage(resource=GPU, duration=duration, kind=COMPUTE, label="backprop")
+
+
+def make_chains(
+    compute_times: Sequence[float], sync_stages: Sequence[Sequence[Stage]]
+) -> List[TensorChain]:
+    """Zip per-tensor compute times with their synchronization pipelines."""
+    if len(compute_times) != len(sync_stages):
+        raise ValueError("compute_times and sync_stages must align")
+    chains = []
+    for i, (compute_time, stages) in enumerate(zip(compute_times, sync_stages)):
+        chains.append(
+            TensorChain(
+                tensor_index=i,
+                stages=[compute_stage(compute_time), *stages],
+            )
+        )
+    return chains

@@ -1,0 +1,17 @@
+"""Numpy data-parallel training engine for convergence validation (§5.4)."""
+
+from repro.training.data import Dataset, make_classification, shard_dataset
+from repro.training.engine import DataParallelTrainer, TrainingCurve
+from repro.training.metrics import accuracy, macro_f1
+from repro.training.nets import MLP
+
+__all__ = [
+    "Dataset",
+    "make_classification",
+    "shard_dataset",
+    "MLP",
+    "DataParallelTrainer",
+    "TrainingCurve",
+    "accuracy",
+    "macro_f1",
+]

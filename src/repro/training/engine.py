@@ -1,0 +1,148 @@
+"""Data-parallel SGD with gradient compression (the §5.4 experiment).
+
+Simulates K synchronous workers on one process: each worker holds a data
+shard and an error-feedback state; every step, workers compute gradients
+on their own mini-batches, compress them (with error feedback), the
+"network" aggregates the decompressed gradients, and all replicas apply
+the same SGD update — bitwise-identical replicas, like real synchronous
+DDL.  Wall-clock per step can be taken from the DDL timeline simulator
+to plot time-to-accuracy (Fig. 16(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.none import NoCompression
+from repro.training.data import Dataset, shard_dataset
+from repro.training.nets import MLP
+
+
+@dataclass
+class TrainingCurve:
+    """Per-evaluation-point training history."""
+
+    steps: List[int] = field(default_factory=list)
+    seconds: List[float] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise ValueError("no evaluations recorded")
+        return self.test_accuracy[-1]
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds to first reach ``target`` accuracy, if ever."""
+        for seconds, accuracy in zip(self.seconds, self.test_accuracy):
+            if accuracy >= target:
+                return seconds
+        return None
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel SGD with per-tensor gradient compression."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        compressor: Optional[Compressor] = None,
+        workers: int = 4,
+        batch_size: int = 32,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        hidden: int = 64,
+        step_seconds: float = 1.0,
+        seed: int = 0,
+    ):
+        """Args:
+        dataset: the task to train on.
+        compressor: GC algorithm applied to every gradient tensor (with
+            error feedback); ``None`` trains FP32.
+        workers: number of simulated data-parallel workers.
+        batch_size: per-worker mini-batch size.
+        step_seconds: simulated wall-clock per iteration — wire this to
+            the DDL simulator's iteration time to compare time-to-accuracy
+            between strategies (Fig. 16).
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.dataset = dataset
+        self.compressor = compressor if compressor is not None else NoCompression()
+        self.workers = workers
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.step_seconds = step_seconds
+        self.model = MLP(
+            dataset.num_features, dataset.num_classes, hidden=hidden, seed=seed
+        )
+        self._shards = shard_dataset(dataset, workers)
+        self._feedback = [ErrorFeedback(self.compressor) for _ in range(workers)]
+        self._velocity: Dict[str, np.ndarray] = {
+            name: np.zeros_like(value) for name, value in self.model.params.items()
+        }
+        self._rng = np.random.default_rng(seed + 1)
+        self._step = 0
+
+    def _worker_batch(self, worker: int):
+        x, y = self._shards[worker]
+        idx = self._rng.integers(0, x.shape[0], size=self.batch_size)
+        return x[idx], y[idx]
+
+    def train_step(self) -> float:
+        """One synchronous iteration; returns the mean worker loss."""
+        aggregated: Dict[str, np.ndarray] = {}
+        total_loss = 0.0
+        for worker in range(self.workers):
+            x, y = self._worker_batch(worker)
+            loss, grads = self.model.loss_and_gradients(x, y)
+            total_loss += loss
+            feedback = self._feedback[worker]
+            for name, grad in grads.items():
+                # Shared seed per (step, tensor): Random-k picks the same
+                # coordinates on every worker, as real deployments do.
+                seed = hash((self._step, name)) & 0x7FFFFFFF
+                compressed = feedback.compress(name, grad, seed=seed)
+                decompressed = feedback.decompress(compressed)
+                if name in aggregated:
+                    aggregated[name] += decompressed
+                else:
+                    aggregated[name] = decompressed
+        updates = {}
+        for name, grad_sum in aggregated.items():
+            grad = grad_sum / self.workers
+            self._velocity[name] = (
+                self.momentum * self._velocity[name] + grad
+            )
+            updates[name] = self.learning_rate * self._velocity[name]
+        self.model.apply_update(updates)
+        self._step += 1
+        return total_loss / self.workers
+
+    def evaluate(self) -> float:
+        """Test-set accuracy of the (shared) model replica."""
+        predictions = self.model.predict(self.dataset.test_x)
+        return float(np.mean(predictions == self.dataset.test_y))
+
+    def train(self, steps: int, eval_every: int = 20) -> TrainingCurve:
+        """Train for ``steps`` iterations, recording a curve."""
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        curve = TrainingCurve()
+        recent_losses: List[float] = []
+        for _ in range(steps):
+            recent_losses.append(self.train_step())
+            if self._step % eval_every == 0 or self._step == steps:
+                curve.steps.append(self._step)
+                curve.seconds.append(self._step * self.step_seconds)
+                curve.train_loss.append(float(np.mean(recent_losses)))
+                curve.test_accuracy.append(self.evaluate())
+                recent_losses.clear()
+        return curve

@@ -1,0 +1,37 @@
+"""Classification metrics for the convergence experiments (§5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions (the paper's Top-1 accuracy)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("empty predictions")
+    return float(np.mean(predictions == labels))
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Macro-averaged F1 (the paper reports F1 for BERT on SQuAD)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    classes = np.union1d(np.unique(predictions), np.unique(labels))
+    scores = []
+    for cls in classes:
+        tp = float(np.sum((predictions == cls) & (labels == cls)))
+        fp = float(np.sum((predictions == cls) & (labels != cls)))
+        fn = float(np.sum((predictions != cls) & (labels == cls)))
+        if tp == 0.0:
+            scores.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))

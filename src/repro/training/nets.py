@@ -1,0 +1,100 @@
+"""A small numpy MLP with manual backprop for the convergence experiments.
+
+Parameters and gradients are exposed as ordered ``{name: array}`` dicts —
+the same per-tensor granularity the rest of the library reasons about, so
+compression strategies apply tensor by tensor exactly as in DDL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+Params = Dict[str, np.ndarray]
+
+
+class MLP:
+    """Two-hidden-layer ReLU MLP with softmax cross-entropy loss."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden: int = 64,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+
+        def _init(fan_in: int, fan_out: int) -> np.ndarray:
+            scale = np.sqrt(2.0 / fan_in)
+            return (rng.standard_normal((fan_in, fan_out)) * scale).astype(np.float32)
+
+        self.params: Params = {
+            "fc1.weight": _init(num_features, hidden),
+            "fc1.bias": np.zeros(hidden, dtype=np.float32),
+            "fc2.weight": _init(hidden, hidden),
+            "fc2.bias": np.zeros(hidden, dtype=np.float32),
+            "fc3.weight": _init(hidden, num_classes),
+            "fc3.bias": np.zeros(num_classes, dtype=np.float32),
+        }
+
+    def parameter_names(self) -> List[str]:
+        return list(self.params)
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        p = self.params
+        z1 = x @ p["fc1.weight"] + p["fc1.bias"]
+        a1 = np.maximum(z1, 0.0)
+        z2 = a1 @ p["fc2.weight"] + p["fc2.bias"]
+        a2 = np.maximum(z2, 0.0)
+        logits = a2 @ p["fc3.weight"] + p["fc3.bias"]
+        cache = {"x": x, "z1": z1, "a1": a1, "z2": z2, "a2": a2}
+        return logits, cache
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch."""
+        logits, _ = self._forward(np.asarray(x, dtype=np.float32))
+        return np.argmax(logits, axis=1)
+
+    def loss_and_gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, Params]:
+        """Mean cross-entropy loss and per-parameter gradients."""
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        logits, cache = self._forward(x)
+        n = x.shape[0]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(-np.mean(np.log(probs[np.arange(n), y] + 1e-12)))
+
+        dlogits = probs
+        dlogits[np.arange(n), y] -= 1.0
+        dlogits /= n
+
+        grads: Params = {}
+        grads["fc3.weight"] = cache["a2"].T @ dlogits
+        grads["fc3.bias"] = dlogits.sum(axis=0)
+        da2 = dlogits @ self.params["fc3.weight"].T
+        dz2 = da2 * (cache["z2"] > 0)
+        grads["fc2.weight"] = cache["a1"].T @ dz2
+        grads["fc2.bias"] = dz2.sum(axis=0)
+        da1 = dz2 @ self.params["fc2.weight"].T
+        dz1 = da1 * (cache["z1"] > 0)
+        grads["fc1.weight"] = cache["x"].T @ dz1
+        grads["fc1.bias"] = dz1.sum(axis=0)
+        return loss, {k: v.astype(np.float32) for k, v in grads.items()}
+
+    def apply_update(self, updates: Params) -> None:
+        """Subtract per-parameter updates (already scaled by the LR)."""
+        for name, delta in updates.items():
+            self.params[name] -= delta
+
+    def clone_params(self) -> Params:
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def load_params(self, params: Params) -> None:
+        for name in self.params:
+            self.params[name] = params[name].copy()

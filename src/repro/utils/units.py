@@ -1,0 +1,52 @@
+"""Units and human-readable formatting.
+
+Internally the whole library uses **seconds** for time and **bytes** for
+sizes.  Bandwidths are bytes/second.  These constants make call sites
+self-documenting, e.g. ``duration = 5 * MS`` or ``size = 170 * MB``.
+"""
+
+from __future__ import annotations
+
+#: Size units (bytes).
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+#: Time units (seconds).
+US = 1e-6
+MS = 1e-3
+
+#: Bandwidth unit: 1 GB/s expressed in bytes/second.
+GBPS = float(GB)
+
+_BITS_PER_BYTE = 8
+
+
+def GbpsToBytesPerSec(gbps: float) -> float:
+    """Convert a network bandwidth quoted in Gbit/s to bytes/second.
+
+    Network links (Ethernet, NVLink, PCIe) are conventionally quoted in
+    Gbit/s; 100 Gbps -> 12.5e9 bytes/s.
+    """
+    return gbps * 1e9 / _BITS_PER_BYTE
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``'170.0 MB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``'12.3 ms'``."""
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f} h"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,17 @@
+"""Small argument-validation helpers shared across modules."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value

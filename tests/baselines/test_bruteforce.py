@@ -1,0 +1,78 @@
+"""Brute-force search tests (the §4.4.1 enumeration)."""
+
+import pytest
+
+from repro.baselines.bruteforce import (
+    brute_force_search,
+    estimate_search_seconds,
+    measure_evaluation_seconds,
+)
+from repro.core.algorithm import gpu_compression_decision, refinement_sweep
+from repro.core.offload import cpu_offload_decision
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option, inter_alltoall_option
+from repro.core.strategy import StrategyEvaluator
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.models import synthetic_model
+from repro.utils.units import MB, MS
+
+
+@pytest.fixture
+def tiny_evaluator_2(small_cluster):
+    model = synthetic_model(
+        "bf", [(int(48 * MB / 4), 8 * MS), (int(16 * MB / 4), 6 * MS)]
+    )
+    job = JobConfig(
+        model=model,
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=small_cluster),
+    )
+    return StrategyEvaluator(job)
+
+
+CANDIDATES = [
+    inter_allgather_option(Device.GPU),
+    inter_allgather_option(Device.CPU),
+    inter_alltoall_option(Device.GPU),
+]
+
+
+def test_brute_force_finds_optimum_of_its_space(tiny_evaluator_2):
+    result = brute_force_search(tiny_evaluator_2, CANDIDATES)
+    # (3 candidates + no-compression) ^ 2 tensors.
+    assert result.evaluations == 16
+    # Verify optimality by re-enumerating manually.
+    fp32 = tiny_evaluator_2.iteration_time(tiny_evaluator_2.baseline())
+    assert result.iteration_time <= fp32 + 1e-12
+
+
+def test_espresso_matches_brute_force_on_tiny_job(tiny_evaluator_2):
+    """The paper's near-optimality claim, checked exactly on a job small
+    enough to brute-force over the same candidate space."""
+    brute = brute_force_search(tiny_evaluator_2, CANDIDATES)
+    decision = gpu_compression_decision(
+        tiny_evaluator_2, candidates=CANDIDATES, prefilter_per_device=0
+    )
+    strategy = decision.strategy
+    offload = cpu_offload_decision(tiny_evaluator_2, strategy)
+    strategy, best, _ = refinement_sweep(
+        tiny_evaluator_2, offload.strategy, CANDIDATES, prefilter_per_device=0
+    )
+    gap = (best - brute.iteration_time) / brute.iteration_time
+    assert gap <= 0.05  # "only a few percent from optimal"
+
+
+def test_brute_force_budget_guard(tiny_evaluator_2):
+    with pytest.raises(ValueError, match="max_evaluations"):
+        brute_force_search(tiny_evaluator_2, CANDIDATES, max_evaluations=3)
+
+
+def test_extrapolation_matches_paper_magnitude():
+    """Table 5's '> 24h': even LSTM's 10 tensors with |C|=4341 options."""
+    seconds = estimate_search_seconds(10, 4341, 1e-3)
+    assert seconds > 24 * 3600
+
+
+def test_measure_evaluation_seconds(tiny_evaluator_2):
+    per_eval = measure_evaluation_seconds(tiny_evaluator_2, samples=5)
+    assert 0 < per_eval < 1.0

@@ -1,0 +1,74 @@
+"""Baseline-system behaviour tests."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_SYSTEMS,
+    BytePSCompress,
+    EspressoSystem,
+    FP32,
+    HiPress,
+    HiTopKComm,
+    UpperBound,
+)
+from repro.core.options import Device
+
+
+def test_fp32_compresses_nothing(medium_job):
+    result = FP32().run(medium_job)
+    assert result.strategy.compressed_indices == []
+    assert result.scaling_factor <= 1.0
+
+
+def test_hitopkcomm_compresses_everything(medium_job):
+    result = HiTopKComm().run(medium_job)
+    assert len(result.strategy.compressed_indices) == medium_job.model.num_tensors
+    for option in result.strategy.options:
+        assert option.uses_device(Device.GPU)
+        assert not option.compresses_intra
+
+
+def test_bytepscompress_uses_cpu_everywhere(medium_job):
+    result = BytePSCompress().run(medium_job)
+    assert len(result.strategy.compressed_indices) == medium_job.model.num_tensors
+    for option in result.strategy.options:
+        assert option.uses_device(Device.CPU)
+
+
+def test_hipress_is_selective(medium_job):
+    """HiPress compresses where wall-clock saving > wall-clock cost —
+    the big tensors of the medium job, but not the 1 MB one."""
+    result = HiPress().run(medium_job)
+    compressed = set(result.strategy.compressed_indices)
+    assert compressed  # it does compress something
+    sizes = [t.num_elements for t in medium_job.model.tensors]
+    largest = max(range(len(sizes)), key=sizes.__getitem__)
+    assert largest in compressed
+    for index in compressed:
+        assert result.strategy[index].uses_device(Device.GPU)
+
+
+def test_espresso_beats_every_baseline(medium_job, pcie_job):
+    for job in (medium_job, pcie_job):
+        espresso = EspressoSystem().run(job).throughput
+        for system_cls in (FP32, HiPress, HiTopKComm, BytePSCompress):
+            baseline = system_cls().run(job).throughput
+            assert espresso >= baseline * 0.999, system_cls.name
+
+
+def test_upper_bound_dominates_all(medium_job):
+    bound = UpperBound().run(medium_job).throughput
+    for system_cls in ALL_SYSTEMS:
+        assert bound >= system_cls().run(medium_job).throughput * 0.999
+
+
+def test_all_systems_report_consistent_metrics(medium_job):
+    for system_cls in ALL_SYSTEMS:
+        result = system_cls().run(medium_job)
+        expected = (
+            medium_job.model.batch_size
+            * medium_job.system.cluster.total_gpus
+            / result.iteration_time
+        )
+        assert result.throughput == pytest.approx(expected)
+        assert 0 < result.scaling_factor <= 1.0 + 1e-9

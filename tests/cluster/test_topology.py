@@ -1,0 +1,76 @@
+"""Cluster topology tests."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    nvlink_100g_cluster,
+    pcie_25g_cluster,
+    single_gpu,
+)
+
+
+def test_nvlink_preset_matches_paper_testbed():
+    cluster = nvlink_100g_cluster()
+    assert cluster.num_machines == 8
+    assert cluster.gpus_per_machine == 8
+    assert cluster.total_gpus == 64
+    assert cluster.interconnect == "nvlink"
+    # NVLink is far faster than the NIC.
+    assert cluster.intra_bw > 5 * cluster.inter_bw
+
+
+def test_pcie_preset_bandwidth_ordering():
+    cluster = pcie_25g_cluster()
+    assert cluster.interconnect == "pcie"
+    # PCIe intra is still faster than 25 Gbps Ethernet.
+    assert cluster.intra_bw > cluster.inter_bw
+
+
+def test_inter_bandwidth_below_line_rate():
+    # TCP efficiency: effective NIC bandwidth < line rate.
+    assert nvlink_100g_cluster().inter_bw < 12.5e9
+
+
+def test_single_gpu_is_not_distributed():
+    cluster = single_gpu()
+    assert not cluster.is_distributed
+    assert not cluster.has_intra_phase
+    assert not cluster.has_inter_phase
+
+
+def test_phase_flags():
+    cluster = ClusterSpec(
+        num_machines=1, gpus_per_machine=4, intra_bw=1e9, inter_bw=1e9
+    )
+    assert cluster.has_intra_phase
+    assert not cluster.has_inter_phase
+    assert cluster.is_distributed
+
+
+def test_with_machines_scales():
+    cluster = nvlink_100g_cluster().with_machines(2)
+    assert cluster.num_machines == 2
+    assert cluster.total_gpus == 16
+    assert cluster.intra_bw == nvlink_100g_cluster().intra_bw
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_machines": 0, "gpus_per_machine": 8, "intra_bw": 1e9, "inter_bw": 1e9},
+        {"num_machines": 1, "gpus_per_machine": 0, "intra_bw": 1e9, "inter_bw": 1e9},
+        {"num_machines": 1, "gpus_per_machine": 1, "intra_bw": 0, "inter_bw": 1e9},
+        {"num_machines": 1, "gpus_per_machine": 1, "intra_bw": 1e9, "inter_bw": -1},
+        {
+            "num_machines": 1,
+            "gpus_per_machine": 1,
+            "intra_bw": 1e9,
+            "inter_bw": 1e9,
+            "intra_latency": -1e-6,
+        },
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ClusterSpec(**kwargs)

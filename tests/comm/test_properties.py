@@ -1,0 +1,41 @@
+"""Hypothesis property tests for the collective cost models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import LinkParams, Routine, routine_time
+
+links = st.builds(
+    LinkParams,
+    participants=st.integers(1, 128),
+    bandwidth=st.floats(1e6, 1e12),
+    latency=st.floats(0, 1e-3),
+)
+routines = st.sampled_from(list(Routine))
+payloads = st.floats(0, 1e10)
+
+
+@given(routines, payloads, links)
+@settings(max_examples=200, deadline=None)
+def test_cost_is_nonnegative_and_finite(routine, nbytes, link):
+    cost = routine_time(routine, nbytes, link)
+    assert cost >= 0.0
+    assert cost < float("inf")
+
+
+@given(routines, st.floats(1, 1e9), links)
+@settings(max_examples=200, deadline=None)
+def test_cost_monotone_in_payload(routine, nbytes, link):
+    if link.participants == 1:
+        return
+    assert routine_time(routine, nbytes * 2, link) >= routine_time(
+        routine, nbytes, link
+    )
+
+
+@given(st.floats(1, 1e9), links)
+@settings(max_examples=200, deadline=None)
+def test_allreduce_dominates_its_halves(nbytes, link):
+    """Allreduce >= reduce-scatter and >= same-shard allgather."""
+    allreduce = routine_time(Routine.ALLREDUCE, nbytes, link)
+    assert allreduce >= routine_time(Routine.REDUCE_SCATTER, nbytes, link)

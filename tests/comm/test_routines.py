@@ -1,0 +1,108 @@
+"""Alpha-beta collective cost-model tests."""
+
+import pytest
+
+from repro.comm import LinkParams, Routine, routine_time
+
+LINK = LinkParams(participants=8, bandwidth=1e9, latency=1e-5)
+
+
+def test_single_participant_is_free():
+    solo = LinkParams(participants=1, bandwidth=1e9, latency=1e-5)
+    for routine in Routine:
+        assert routine_time(routine, 1e6, solo) == 0.0
+
+
+def test_zero_bytes_is_free():
+    for routine in Routine:
+        assert routine_time(routine, 0, LINK) == 0.0
+
+
+def test_allreduce_is_rs_plus_ag():
+    n = 1e8
+    allreduce = routine_time(Routine.ALLREDUCE, n, LINK)
+    rs = routine_time(Routine.REDUCE_SCATTER, n, LINK)
+    # Allgather's nbytes semantics is the per-node shard.
+    ag = routine_time(Routine.ALLGATHER, n / LINK.participants, LINK)
+    assert allreduce == pytest.approx(rs + ag)
+
+
+def test_allreduce_bandwidth_term():
+    """2(p-1)/p * n / B for large tensors (latency negligible)."""
+    n = 1e9
+    p = LINK.participants
+    expected = 2 * (p - 1) / p * n / LINK.bandwidth
+    assert routine_time(Routine.ALLREDUCE, n, LINK) == pytest.approx(
+        expected, rel=0.01
+    )
+
+
+def test_alltoall_cheaper_than_allgather_same_input():
+    """Alltoall moves (p-1)/p of n; allgather replicates n to p-1 peers."""
+    n = 1e8
+    assert routine_time(Routine.ALLTOALL, n, LINK) < routine_time(
+        Routine.ALLGATHER, n, LINK
+    )
+
+
+def test_divisible_beats_indivisible_for_compressed():
+    """Table 2's trade-off: Alltoall+Allgather (on 1/p shards) moves less
+    than one big Allgather."""
+    n = 1e8
+    indivisible = routine_time(Routine.ALLGATHER, n, LINK)
+    divisible = routine_time(Routine.ALLTOALL, n, LINK) + routine_time(
+        Routine.ALLGATHER, n / LINK.participants, LINK
+    )
+    assert divisible < indivisible
+
+
+def test_rooted_routines_use_tree_rounds():
+    n = 1e6
+    reduce_time = routine_time(Routine.REDUCE, n, LINK)
+    # ceil(log2(8)) = 3 rounds of (alpha + n*beta).
+    assert reduce_time == pytest.approx(3 * (LINK.latency + n / LINK.bandwidth))
+    assert routine_time(Routine.BROADCAST, n, LINK) == pytest.approx(reduce_time)
+
+
+def test_gather_matches_allgather_cost_shape():
+    n = 1e6
+    assert routine_time(Routine.GATHER, n, LINK) == pytest.approx(
+        routine_time(Routine.ALLGATHER, n, LINK)
+    )
+
+
+@pytest.mark.parametrize("routine", list(Routine))
+def test_monotone_in_bytes(routine):
+    small = routine_time(routine, 1e5, LINK)
+    large = routine_time(routine, 1e7, LINK)
+    assert large > small
+
+
+@pytest.mark.parametrize("routine", list(Routine))
+def test_monotone_in_bandwidth(routine):
+    slow = LinkParams(participants=8, bandwidth=1e8, latency=1e-5)
+    fast = LinkParams(participants=8, bandwidth=1e10, latency=1e-5)
+    assert routine_time(routine, 1e7, slow) > routine_time(routine, 1e7, fast)
+
+
+def test_latency_dominates_tiny_tensors():
+    chatty = LinkParams(participants=8, bandwidth=1e12, latency=1e-4)
+    # 7 rounds of alltoall latency vs 3 tree rounds: rooted wins on tiny
+    # payloads, which is why the full search space includes them.
+    assert routine_time(Routine.BROADCAST, 100, chatty) < routine_time(
+        Routine.ALLGATHER, 100, chatty
+    )
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        routine_time(Routine.ALLREDUCE, -1, LINK)
+
+
+def test_invalid_link_params():
+    with pytest.raises(ValueError):
+        LinkParams(participants=0, bandwidth=1e9, latency=0)
+    with pytest.raises(ValueError):
+        LinkParams(participants=2, bandwidth=0, latency=0)
+    with pytest.raises(ValueError):
+        LinkParams(participants=2, bandwidth=1e9, latency=-1)

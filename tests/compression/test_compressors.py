@@ -1,0 +1,226 @@
+"""Behavioural tests for every GC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    DGC,
+    EFSignSGD,
+    FP16,
+    NoCompression,
+    QSGD,
+    RandomK,
+    TernGrad,
+    TopK,
+)
+from repro.compression.base import FP32_BYTES
+
+ALL = [
+    NoCompression(),
+    RandomK(ratio=0.1),
+    TopK(ratio=0.1),
+    DGC(ratio=0.1),
+    EFSignSGD(),
+    QSGD(levels=255),
+    TernGrad(),
+    FP16(),
+]
+
+
+@pytest.fixture
+def gradient():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(4096).astype(np.float32)
+
+
+@pytest.mark.parametrize("compressor", ALL, ids=lambda c: c.name)
+def test_round_trip_shape_and_dtype(compressor, gradient):
+    compressed = compressor.compress(gradient, seed=1)
+    restored = compressor.decompress(compressed)
+    assert restored.shape == gradient.shape
+    assert restored.dtype == np.float32
+
+
+@pytest.mark.parametrize("compressor", ALL, ids=lambda c: c.name)
+def test_multidimensional_tensors(compressor):
+    rng = np.random.default_rng(0)
+    tensor = rng.standard_normal((16, 8, 4)).astype(np.float32)
+    restored = compressor.decompress(compressor.compress(tensor, seed=2))
+    assert restored.shape == (16, 8, 4)
+
+
+@pytest.mark.parametrize("compressor", ALL, ids=lambda c: c.name)
+def test_wire_size_matches_model(compressor, gradient):
+    compressed = compressor.compress(gradient, seed=3)
+    assert compressed.nbytes == compressor.compressed_nbytes(gradient.size)
+
+
+@pytest.mark.parametrize("compressor", ALL, ids=lambda c: c.name)
+def test_empty_tensor_rejected(compressor):
+    with pytest.raises(ValueError):
+        compressor.compress(np.array([], dtype=np.float32))
+
+
+def test_no_compression_is_exact(gradient):
+    none = NoCompression()
+    restored = none.decompress(none.compress(gradient))
+    np.testing.assert_array_equal(restored, gradient)
+    assert none.compression_ratio(gradient.size) == 1.0
+
+
+def test_fp16_near_exact(gradient):
+    fp16 = FP16()
+    restored = fp16.decompress(fp16.compress(gradient))
+    np.testing.assert_allclose(restored, gradient, rtol=1e-3, atol=1e-3)
+    assert fp16.compression_ratio(gradient.size) == 0.5
+
+
+class TestSparsifiers:
+    @pytest.mark.parametrize(
+        "compressor", [RandomK(0.05), TopK(0.05), DGC(0.05)], ids=lambda c: c.name
+    )
+    def test_sparsity_level(self, compressor, gradient):
+        restored = compressor.decompress(compressor.compress(gradient, seed=7))
+        kept = np.count_nonzero(restored)
+        assert kept <= int(round(gradient.size * 0.05)) + 1
+
+    def test_topk_keeps_largest(self, gradient):
+        topk = TopK(ratio=0.01)
+        restored = topk.decompress(topk.compress(gradient))
+        kept_indices = np.flatnonzero(restored)
+        threshold = np.min(np.abs(gradient[kept_indices]))
+        dropped = np.delete(np.abs(gradient), kept_indices)
+        assert np.all(dropped <= threshold + 1e-7)
+
+    def test_topk_values_preserved_exactly(self, gradient):
+        topk = TopK(ratio=0.02)
+        restored = topk.decompress(topk.compress(gradient))
+        kept = np.flatnonzero(restored)
+        np.testing.assert_array_equal(restored[kept], gradient[kept])
+
+    def test_dgc_selects_mostly_large_values(self, gradient):
+        dgc = DGC(ratio=0.02)
+        restored = dgc.decompress(dgc.compress(gradient, seed=5))
+        kept = np.flatnonzero(restored)
+        # DGC's sampled threshold should mostly agree with exact top-k.
+        exact = set(
+            np.argpartition(np.abs(gradient), gradient.size - kept.size)[-kept.size:]
+        )
+        overlap = len(exact & set(kept)) / kept.size
+        assert overlap > 0.6
+
+    def test_randomk_same_seed_same_indices(self, gradient):
+        rk = RandomK(ratio=0.05)
+        a = rk.compress(gradient, seed=11)
+        b = rk.compress(gradient * 2.0, seed=11)
+        np.testing.assert_array_equal(a.payload["indices"], b.payload["indices"])
+
+    def test_randomk_different_seed_different_indices(self, gradient):
+        rk = RandomK(ratio=0.05)
+        a = rk.compress(gradient, seed=11)
+        b = rk.compress(gradient, seed=12)
+        assert not np.array_equal(a.payload["indices"], b.payload["indices"])
+
+    def test_randomk_rescale_unbiased_scaling(self, gradient):
+        rk = RandomK(ratio=0.5, rescale=True)
+        restored = rk.decompress(rk.compress(gradient, seed=3))
+        kept = np.flatnonzero(restored)
+        np.testing.assert_allclose(
+            restored[kept], gradient[kept] * 2.0, rtol=1e-4
+        )
+
+    def test_ratio_validation(self):
+        for cls in (RandomK, TopK, DGC):
+            with pytest.raises(ValueError):
+                cls(ratio=0.0)
+            with pytest.raises(ValueError):
+                cls(ratio=1.5)
+
+    def test_tiny_tensor_keeps_at_least_one(self):
+        tensor = np.array([3.0, -1.0], dtype=np.float32)
+        for compressor in (RandomK(0.01), TopK(0.01), DGC(0.01)):
+            restored = compressor.decompress(compressor.compress(tensor, seed=1))
+            assert np.count_nonzero(restored) >= 1
+
+
+class TestQuantizers:
+    def test_efsignsgd_signs_preserved(self, gradient):
+        ef = EFSignSGD()
+        restored = ef.decompress(ef.compress(gradient))
+        nonzero = np.abs(gradient) > 1e-8
+        assert np.all(np.sign(restored[nonzero]) == np.sign(gradient[nonzero]))
+
+    def test_efsignsgd_scale_is_mean_magnitude(self, gradient):
+        ef = EFSignSGD()
+        compressed = ef.compress(gradient)
+        assert compressed.metadata["scale"] == pytest.approx(
+            float(np.mean(np.abs(gradient)))
+        )
+
+    def test_efsignsgd_wire_is_one_bit_per_element(self):
+        ef = EFSignSGD()
+        assert ef.compressed_nbytes(8000) == 1000 + FP32_BYTES
+        # ~32x compression for large tensors.
+        assert ef.compression_ratio(1 << 20) < 1 / 30
+
+    def test_qsgd_unbiased(self):
+        rng = np.random.default_rng(5)
+        tensor = rng.standard_normal(512).astype(np.float32)
+        q = QSGD(levels=15)
+        samples = 400
+        restored = np.mean(
+            [q.decompress(q.compress(tensor, seed=s)) for s in range(samples)],
+            axis=0,
+        )
+        # Per-coordinate std <= norm/levels; allow 5 sigma of the mean.
+        tolerance = 5 * float(np.linalg.norm(tensor)) / 15 / np.sqrt(samples)
+        np.testing.assert_allclose(restored, tensor, atol=tolerance)
+
+    def test_qsgd_zero_tensor(self):
+        q = QSGD(levels=255)
+        zero = np.zeros(64, dtype=np.float32)
+        np.testing.assert_array_equal(q.decompress(q.compress(zero)), zero)
+
+    def test_qsgd_bits_per_element(self):
+        assert QSGD(levels=255).bits_per_element == 9
+        assert QSGD(levels=1).bits_per_element == 2
+
+    def test_terngrad_values_are_ternary(self, gradient):
+        tg = TernGrad()
+        compressed = tg.compress(gradient, seed=9)
+        assert set(np.unique(compressed.payload["ternary"])) <= {-1, 0, 1}
+        restored = tg.decompress(compressed)
+        scale = compressed.metadata["scale"]
+        assert set(np.round(np.unique(restored) / scale).astype(int)) <= {-1, 0, 1}
+
+    def test_terngrad_unbiased(self):
+        rng = np.random.default_rng(6)
+        tensor = rng.standard_normal(256).astype(np.float32)
+        tg = TernGrad()
+        samples = 600
+        restored = np.mean(
+            [tg.decompress(tg.compress(tensor, seed=s)) for s in range(samples)],
+            axis=0,
+        )
+        # Per-coordinate variance <= scale * |x|; allow 5 sigma.
+        scale = float(np.max(np.abs(tensor)))
+        sigma = np.sqrt(scale * np.abs(tensor) + 1e-9) / np.sqrt(samples)
+        assert np.all(np.abs(restored - tensor) <= 5 * sigma + 1e-3)
+
+    def test_terngrad_zero_tensor(self):
+        tg = TernGrad()
+        zero = np.zeros(32, dtype=np.float32)
+        np.testing.assert_array_equal(tg.decompress(tg.compress(zero)), zero)
+
+
+@pytest.mark.parametrize("compressor", ALL, ids=lambda c: c.name)
+def test_compression_ratio_deterministic_in_size(compressor):
+    # §4.3: deterministic compression ratio given a tensor size.
+    assert compressor.compressed_nbytes(10_000) == compressor.compressed_nbytes(
+        10_000
+    )
+
+
+def test_compression_ratio_requires_positive_size():
+    with pytest.raises(ValueError):
+        NoCompression().compression_ratio(0)

@@ -1,0 +1,76 @@
+"""Error-feedback wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression import EFSignSGD, ErrorFeedback, NoCompression, TopK
+
+
+def test_residual_is_compression_error():
+    ef = ErrorFeedback(TopK(ratio=0.25))
+    grad = np.array([4.0, -3.0, 1.0, 0.5], dtype=np.float32)
+    compressed = ef.compress("t", grad)
+    restored = ef.decompress(compressed)
+    np.testing.assert_allclose(ef.residual("t"), grad - restored, atol=1e-6)
+
+
+def test_residual_reenters_next_step():
+    ef = ErrorFeedback(TopK(ratio=0.25))
+    grad = np.array([4.0, -3.0, 1.0, 0.5], dtype=np.float32)
+    ef.compress("t", grad)
+    residual = ef.residual("t")
+    # Second step with a zero gradient: the accumulator is the residual,
+    # so whatever gets transmitted comes from it.
+    compressed = ef.compress("t", np.zeros_like(grad))
+    restored = ef.decompress(compressed)
+    np.testing.assert_allclose(
+        restored + ef.residual("t"), residual, atol=1e-6
+    )
+
+
+def test_telescoping_sum_preserves_mass():
+    """Over many steps, sum(transmitted) == sum(gradients) - final residual."""
+    rng = np.random.default_rng(3)
+    ef = ErrorFeedback(TopK(ratio=0.2))
+    total_grad = np.zeros(64, dtype=np.float32)
+    total_sent = np.zeros(64, dtype=np.float32)
+    for _ in range(50):
+        grad = rng.standard_normal(64).astype(np.float32)
+        total_grad += grad
+        total_sent += ef.decompress(ef.compress("w", grad))
+    np.testing.assert_allclose(
+        total_sent + ef.residual("w"), total_grad, atol=1e-3
+    )
+
+
+def test_identity_compressor_keeps_zero_residual():
+    ef = ErrorFeedback(NoCompression())
+    grad = np.array([1.0, 2.0], dtype=np.float32)
+    ef.compress("t", grad)
+    np.testing.assert_allclose(ef.residual("t"), np.zeros(2), atol=1e-7)
+
+
+def test_residuals_tracked_per_key():
+    ef = ErrorFeedback(EFSignSGD())
+    # Magnitudes differ within each tensor, so sign quantization errs.
+    ef.compress("a", np.array([1.0, -3.0], dtype=np.float32))
+    ef.compress("b", np.array([5.0, 1.0], dtype=np.float32))
+    assert ef.residual("a") is not None
+    assert ef.residual("b") is not None
+    assert not np.allclose(ef.residual("a"), ef.residual("b"))
+    assert ef.residual("never-seen") is None
+
+
+def test_reset_clears_state():
+    ef = ErrorFeedback(EFSignSGD())
+    ef.compress("a", np.ones(4, dtype=np.float32))
+    ef.reset()
+    assert ef.residual("a") is None
+
+
+def test_residual_copy_is_defensive():
+    ef = ErrorFeedback(TopK(ratio=0.5))
+    ef.compress("t", np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32))
+    snapshot = ef.residual("t")
+    snapshot[:] = 99.0
+    assert not np.allclose(ef.residual("t"), 99.0)

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the compression algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    DGC,
+    EFSignSGD,
+    ErrorFeedback,
+    FP16,
+    QSGD,
+    RandomK,
+    TernGrad,
+    TopK,
+)
+
+finite_arrays = st.lists(
+    st.floats(
+        min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False,
+        width=32,
+    ),
+    min_size=1,
+    max_size=300,
+).map(lambda xs: np.asarray(xs, dtype=np.float32))
+
+sparsifier = st.sampled_from([RandomK, TopK, DGC])
+ratios = st.sampled_from([0.01, 0.1, 0.5, 1.0])
+
+
+@given(finite_arrays, sparsifier, ratios, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_sparsifier_output_subset_of_input(array, cls, ratio, seed):
+    """Kept coordinates carry exact input values; the rest are zero."""
+    compressor = cls(ratio=ratio)
+    restored = compressor.decompress(compressor.compress(array, seed=seed)).ravel()
+    mask = restored != 0.0
+    np.testing.assert_array_equal(restored[mask], array.ravel()[mask])
+
+
+@given(finite_arrays, sparsifier, ratios, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_sparsifier_wire_size_deterministic(array, cls, ratio, seed):
+    compressor = cls(ratio=ratio)
+    compressed = compressor.compress(array, seed=seed)
+    assert compressed.nbytes == compressor.compressed_nbytes(array.size)
+    # Sparsifiers ship 8 bytes per kept element (value + index), so they
+    # shrink the payload strictly below ratio 0.5.
+    if ratio <= 0.25 and array.size >= 16:
+        assert compressed.nbytes <= array.size * 4
+
+
+@given(finite_arrays)
+@settings(max_examples=60, deadline=None)
+def test_signsgd_magnitude_constant(array):
+    restored = EFSignSGD().decompress(EFSignSGD().compress(array))
+    scale = float(np.mean(np.abs(array)))
+    np.testing.assert_allclose(np.abs(restored), scale, rtol=1e-5, atol=1e-6)
+
+
+@given(finite_arrays, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_qsgd_bounded_by_norm(array, seed):
+    q = QSGD(levels=15)
+    restored = q.decompress(q.compress(array, seed=seed))
+    norm = np.linalg.norm(array)
+    assert np.all(np.abs(restored) <= norm * (1 + 1e-5))
+
+
+@given(finite_arrays, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_terngrad_bounded_by_max(array, seed):
+    tg = TernGrad()
+    restored = tg.decompress(tg.compress(array, seed=seed))
+    assert np.all(np.abs(restored) <= np.max(np.abs(array)) * (1 + 1e-5))
+
+
+@given(finite_arrays)
+@settings(max_examples=60, deadline=None)
+def test_fp16_error_bounded(array):
+    restored = FP16().decompress(FP16().compress(array))
+    # fp16 relative error is ~2^-11 for in-range values.
+    np.testing.assert_allclose(restored, array, rtol=2e-3, atol=1e-4)
+
+
+@given(
+    st.lists(finite_arrays, min_size=1, max_size=10),
+    st.sampled_from([TopK(0.3), EFSignSGD(), RandomK(0.3)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_error_feedback_telescopes(gradients, compressor):
+    """sum(sent) + residual == sum(gradients), for any gradient stream."""
+    size = max(g.size for g in gradients)
+    gradients = [np.resize(g, size) for g in gradients]
+    ef = ErrorFeedback(compressor)
+    total = np.zeros(size, dtype=np.float64)
+    sent = np.zeros(size, dtype=np.float64)
+    for step, grad in enumerate(gradients):
+        total += grad
+        sent += ef.decompress(ef.compress("k", grad, seed=step))
+    np.testing.assert_allclose(
+        sent + ef.residual("k"), total, rtol=1e-3, atol=1e-2
+    )

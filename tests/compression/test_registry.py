@@ -1,0 +1,50 @@
+"""Compressor registry tests."""
+
+import pytest
+
+from repro.compression import (
+    Compressor,
+    available_compressors,
+    create_compressor,
+    register_compressor,
+)
+from repro.compression.registry import _FACTORIES
+
+
+def test_all_paper_algorithms_registered():
+    names = available_compressors()
+    for required in ("randomk", "dgc", "efsignsgd", "none"):
+        assert required in names
+
+
+def test_create_with_params():
+    dgc = create_compressor("dgc", ratio=0.05)
+    assert dgc.ratio == 0.05
+    assert dgc.name == "dgc"
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(ValueError, match="available"):
+        create_compressor("zstd")
+
+
+def test_register_custom_compressor():
+    class Custom(Compressor):
+        name = "custom-test"
+
+        def compress(self, tensor, seed=None):
+            raise NotImplementedError
+
+        def decompress(self, compressed):
+            raise NotImplementedError
+
+        def compressed_nbytes(self, num_elements):
+            return num_elements
+
+    try:
+        register_compressor("custom-test", Custom)
+        assert isinstance(create_compressor("custom-test"), Custom)
+        with pytest.raises(ValueError, match="already registered"):
+            register_compressor("custom-test", Custom)
+    finally:
+        _FACTORIES.pop("custom-test", None)

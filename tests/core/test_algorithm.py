@@ -1,0 +1,123 @@
+"""Algorithm 1 tests (GPU compression decision)."""
+
+import pytest
+
+from repro.core.algorithm import (
+    device_candidate_options,
+    gpu_candidate_options,
+    gpu_compression_decision,
+    prefilter_candidates,
+    refinement_sweep,
+    sorted_tensor_groups,
+)
+from repro.core.options import Device
+from repro.models import synthetic_model
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.strategy import StrategyEvaluator
+from repro.utils.units import MB, MS
+
+
+def test_gpu_candidates_all_compress_on_gpu():
+    for option in gpu_candidate_options():
+        assert option.compresses
+        assert all(d is Device.GPU for d in option.devices)
+
+
+def test_device_candidates_include_both():
+    candidates = device_candidate_options()
+    assert any(o.uses_device(Device.GPU) for o in candidates)
+    assert any(o.uses_device(Device.CPU) for o in candidates)
+
+
+def test_sorted_tensor_groups_order(small_cluster):
+    """Property #2: descending size; within a group, closest-to-output
+    (computed last) first."""
+    model = synthetic_model(
+        "g",
+        [
+            (1000, 1 * MS),
+            (5000, 1 * MS),
+            (1000, 1 * MS),
+            (9000, 1 * MS),
+        ],
+    )
+    job = JobConfig(
+        model=model, gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=small_cluster),
+    )
+    groups = sorted_tensor_groups(StrategyEvaluator(job))
+    assert [g[0] for g in groups[:2]] == [3, 1]  # largest sizes first
+    # Size-1000 group: index 2 (distance 1) before index 0 (distance 3).
+    assert groups[2] == [2, 0]
+
+
+def test_prefilter_keeps_both_device_classes(medium_evaluator):
+    candidates = device_candidate_options()
+    kept = prefilter_candidates(
+        medium_evaluator.compiler, candidates, int(8 * MB / 4), per_device=2
+    )
+    assert len(kept) < len(candidates)
+    assert any(o.uses_device(Device.GPU) for o in kept)
+    assert any(o.uses_device(Device.CPU) for o in kept)
+
+
+def test_prefilter_disabled_returns_all(medium_evaluator):
+    candidates = device_candidate_options()
+    kept = prefilter_candidates(
+        medium_evaluator.compiler, candidates, 1000, per_device=0
+    )
+    assert kept == candidates
+
+
+def test_algorithm1_never_worse_than_fp32(medium_evaluator):
+    fp32 = medium_evaluator.iteration_time(medium_evaluator.baseline())
+    result = gpu_compression_decision(medium_evaluator)
+    assert result.iteration_time <= fp32 + 1e-12
+    assert result.evaluations > 0
+
+
+def test_algorithm1_compresses_on_communication_bound_job(pcie_job):
+    evaluator = StrategyEvaluator(pcie_job)
+    result = gpu_compression_decision(evaluator)
+    assert len(result.strategy.compressed_indices) > 0
+
+
+def test_algorithm1_ruled_out_tensors_stay_uncompressed(medium_evaluator):
+    result = gpu_compression_decision(medium_evaluator)
+    for index in result.ruled_out:
+        assert not result.strategy[index].compresses
+
+
+def test_algorithm1_respects_candidate_restriction(medium_evaluator):
+    from repro.core.presets import inter_allgather_option
+
+    only = [inter_allgather_option(Device.GPU)]
+    result = gpu_compression_decision(medium_evaluator, candidates=only)
+    for index in result.strategy.compressed_indices:
+        assert result.strategy[index] is only[0]
+
+
+def test_refinement_sweep_never_regresses(medium_evaluator):
+    result = gpu_compression_decision(medium_evaluator)
+    swept, swept_time, improved = refinement_sweep(
+        medium_evaluator, result.strategy, device_candidate_options()
+    )
+    assert swept_time <= result.iteration_time + 1e-12
+    if not improved:
+        assert swept_time == pytest.approx(result.iteration_time)
+
+
+def test_compute_bound_job_declines_compression(small_cluster):
+    """A tiny model on a fast network: compression can only hurt."""
+    model = synthetic_model("small", [(int(0.2 * MB / 4), 30 * MS)] * 3)
+    job = JobConfig(
+        model=model,
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=small_cluster),
+    )
+    evaluator = StrategyEvaluator(job)
+    result = gpu_compression_decision(evaluator)
+    fp32 = evaluator.iteration_time(evaluator.baseline())
+    assert result.iteration_time <= fp32 + 1e-12
+    # The FP32 timeline here is compute-bound; GC brings ~no gain.
+    assert result.iteration_time >= fp32 * 0.95

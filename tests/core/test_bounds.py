@@ -1,0 +1,62 @@
+"""Upper Bound tests."""
+
+import pytest
+
+from repro.core import Espresso
+from repro.core.bounds import (
+    FreeCompression,
+    upper_bound_evaluator,
+    upper_bound_iteration_time,
+    upper_bound_throughput,
+)
+
+
+def test_free_compression_wraps_sizes():
+    from repro.compression import DGC
+
+    inner = DGC(ratio=0.01)
+    free = FreeCompression(inner)
+    assert free.work_factor == 0.0
+    assert free.compressed_nbytes(10_000) == inner.compressed_nbytes(10_000)
+    assert free.name == "free-dgc"
+
+
+def test_free_evaluator_has_no_compression_cost(medium_job):
+    from repro.core.presets import inter_allgather_option
+    from repro.core.options import Device
+
+    evaluator = upper_bound_evaluator(medium_job)
+    option = inter_allgather_option(Device.GPU)
+    stages = evaluator.compiler.stages(option, 1 << 20)
+    assert all(s.duration == 0.0 for s in stages if s.kind != "comm")
+
+
+def test_upper_bound_dominates_espresso(medium_job):
+    bound = upper_bound_iteration_time(medium_job)
+    result = Espresso(medium_job).select_strategy()
+    assert bound <= result.iteration_time * 1.001
+
+
+def test_upper_bound_dominates_fp32(medium_job, pcie_job):
+    for job in (medium_job, pcie_job):
+        from repro.core.strategy import StrategyEvaluator
+
+        evaluator = StrategyEvaluator(job)
+        fp32 = evaluator.iteration_time(evaluator.baseline())
+        assert upper_bound_iteration_time(job) <= fp32 + 1e-12
+
+
+def test_upper_bound_at_least_compute_time(medium_job):
+    assert (
+        upper_bound_iteration_time(medium_job)
+        >= medium_job.model.iteration_compute_time - 1e-12
+    )
+
+
+def test_upper_bound_throughput_consistent(medium_job):
+    iteration = upper_bound_iteration_time(medium_job)
+    assert upper_bound_throughput(medium_job) == pytest.approx(
+        medium_job.model.batch_size
+        * medium_job.system.cluster.total_gpus
+        / iteration
+    )

@@ -1,0 +1,77 @@
+"""User-constraint pruning tests (§4.2.2 extensibility)."""
+
+from repro.core.options import ActionTask, Device
+from repro.core.tree import constrain_options, enumerate_options
+
+
+def _all():
+    return enumerate_options(mode="uniform")
+
+
+def test_max_compression_ops():
+    limited = constrain_options(_all(), max_compression_ops=1)
+    for option in limited:
+        comp_ops = sum(1 for a in option.actions if a.task is ActionTask.COMP)
+        assert comp_ops <= 1
+    # The single-compression paths (and all dense paths) survive.
+    assert any(o.compresses for o in limited)
+    assert any(not o.compresses for o in limited)
+    assert len(limited) < len(_all())
+
+
+def test_zero_compression_ops_keeps_only_dense():
+    dense_only = constrain_options(_all(), max_compression_ops=0)
+    assert dense_only
+    assert all(not o.compresses for o in dense_only)
+
+
+def test_disallow_intra_compression():
+    limited = constrain_options(_all(), allow_intra_compression=False)
+    assert all(not o.compresses_intra for o in limited)
+    assert any(o.compresses_inter for o in limited)
+
+
+def test_disallow_flat():
+    limited = constrain_options(_all(), allow_flat=False)
+    assert all(not o.flat for o in limited)
+
+
+def test_device_restriction():
+    cpu_only = constrain_options(_all(), devices=[Device.CPU])
+    for option in cpu_only:
+        assert all(d is Device.CPU for d in option.devices)
+    assert any(option.compresses for option in cpu_only)
+
+
+def test_constraints_compose():
+    limited = constrain_options(
+        _all(),
+        max_compression_ops=1,
+        allow_intra_compression=False,
+        allow_flat=False,
+        devices=[Device.GPU],
+    )
+    for option in limited:
+        assert not option.flat
+        assert not option.compresses_intra
+        assert all(d is Device.GPU for d in option.devices)
+
+
+def test_constrained_espresso_runs(medium_job):
+    """Constrained candidate sets plug straight into the planner."""
+    from repro.core import Espresso
+
+    candidates = [
+        o
+        for o in constrain_options(_all(), max_compression_ops=1, allow_flat=False)
+        if o.compresses
+    ]
+    result = Espresso(medium_job, candidates=candidates).select_strategy()
+    assert result.iteration_time <= result.baseline_iteration_time + 1e-12
+    for index in result.compressed_indices:
+        comp_ops = sum(
+            1
+            for a in result.strategy[index].actions
+            if a.task is ActionTask.COMP
+        )
+        assert comp_ops <= 1

@@ -1,0 +1,130 @@
+"""Algorithm 2 tests: grouping, Lemma 1, and Theorem 1 vs brute force."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_offload_search
+from repro.core.algorithm import gpu_compression_decision
+from repro.core.offload import (
+    apply_offload_counts,
+    cpu_offload_decision,
+    offload_groups,
+)
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import StrategyEvaluator
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.models import synthetic_model
+from repro.utils.units import MB, MS
+
+
+@pytest.fixture
+def offload_evaluator(small_cluster):
+    """Six tensors, two size classes, all GPU-compressed."""
+    model = synthetic_model(
+        "offload-job",
+        [(int(32 * MB / 4), 6 * MS)] * 3 + [(int(8 * MB / 4), 4 * MS)] * 3,
+    )
+    job = JobConfig(
+        model=model,
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=small_cluster),
+    )
+    return StrategyEvaluator(job)
+
+
+def gpu_strategy(evaluator):
+    option = inter_allgather_option(Device.GPU)
+    strategy = evaluator.baseline()
+    for i in range(len(strategy)):
+        strategy = strategy.replace(i, option)
+    return strategy
+
+
+def test_groups_by_size_and_option(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    groups = offload_groups(offload_evaluator, strategy)
+    assert len(groups) == 2
+    assert [len(g) for g in groups] == [3, 3]
+    assert groups[0].size > groups[1].size
+
+
+def test_group_members_sorted_farthest_first(offload_evaluator):
+    """Lemma 1 order: descending distance to output = ascending index."""
+    strategy = gpu_strategy(offload_evaluator)
+    groups = offload_groups(offload_evaluator, strategy)
+    for group in groups:
+        assert list(group.members) == sorted(group.members)
+
+
+def test_uncompressed_tensors_excluded(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator).replace(
+        0, offload_evaluator.baseline()[0]
+    )
+    groups = offload_groups(offload_evaluator, strategy)
+    members = [i for g in groups for i in g.members]
+    assert 0 not in members
+
+
+def test_apply_offload_counts(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    groups = offload_groups(offload_evaluator, strategy)
+    offloaded = apply_offload_counts(strategy, groups, [2, 0])
+    cpu_indices = offloaded.device_indices(Device.CPU)
+    assert cpu_indices == list(groups[0].members[:2])
+
+
+def test_apply_offload_counts_validation(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    groups = offload_groups(offload_evaluator, strategy)
+    with pytest.raises(ValueError):
+        apply_offload_counts(strategy, groups, [99, 0])
+    with pytest.raises(ValueError):
+        apply_offload_counts(strategy, groups, [0])
+
+
+def test_offload_never_worse(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    base = offload_evaluator.iteration_time(strategy)
+    result = cpu_offload_decision(offload_evaluator, strategy)
+    assert result.iteration_time <= base + 1e-12
+    assert result.exhaustive
+    assert result.combinations == 16
+
+
+def test_theorem1_matches_brute_force(offload_evaluator):
+    """Algorithm 2's group-count enumeration == full 2^n subset search."""
+    strategy = gpu_strategy(offload_evaluator)
+    result = cpu_offload_decision(offload_evaluator, strategy)
+    brute = brute_force_offload_search(
+        offload_evaluator, strategy, indices=list(range(6))
+    )
+    assert result.iteration_time == pytest.approx(
+        brute.iteration_time, rel=1e-9
+    )
+    assert brute.evaluations == 64
+
+
+def test_offload_with_no_compressed_tensors(offload_evaluator):
+    strategy = offload_evaluator.baseline()
+    result = cpu_offload_decision(offload_evaluator, strategy)
+    assert result.counts == ()
+    assert result.strategy is strategy
+
+
+def test_coordinate_descent_fallback(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    exhaustive = cpu_offload_decision(offload_evaluator, strategy)
+    swept = cpu_offload_decision(offload_evaluator, strategy, max_evaluations=2)
+    assert not swept.exhaustive
+    # The sweep is a heuristic but must never regress below no-offload.
+    base = offload_evaluator.iteration_time(strategy)
+    assert swept.iteration_time <= base + 1e-12
+    assert swept.iteration_time >= exhaustive.iteration_time - 1e-12
+
+
+def test_offloaded_indices_property(offload_evaluator):
+    strategy = gpu_strategy(offload_evaluator)
+    result = cpu_offload_decision(offload_evaluator, strategy)
+    assert set(result.offloaded_indices) == set(
+        result.strategy.device_indices(Device.CPU)
+    )

@@ -1,0 +1,140 @@
+"""CompressionOption / Action tests."""
+
+import pytest
+
+from repro.core.options import (
+    Action,
+    ActionTask,
+    CompressionOption,
+    Device,
+    Phase,
+    RoutineName,
+    no_compression_option,
+    validate_option,
+)
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+
+
+def test_action_comm_requires_routine():
+    with pytest.raises(ValueError, match="routine"):
+        Action(task=ActionTask.COMM, phase=Phase.INTER)
+
+
+def test_action_comp_requires_device():
+    with pytest.raises(ValueError, match="device"):
+        Action(task=ActionTask.COMP, phase=Phase.INTER)
+
+
+def test_action_comm_rejects_device():
+    with pytest.raises(ValueError):
+        Action(
+            task=ActionTask.COMM,
+            phase=Phase.INTER,
+            routine=RoutineName.ALLREDUCE,
+            device=Device.GPU,
+        )
+
+
+def test_no_compression_option_properties():
+    option = no_compression_option()
+    assert not option.compresses
+    assert not option.compresses_intra
+    assert not option.compresses_inter
+    assert option.devices == ()
+    assert validate_option(option) == []
+
+
+def test_flat_no_compression():
+    option = no_compression_option(flat=True)
+    assert option.flat
+    assert validate_option(option) == []
+
+
+def test_preset_options_valid():
+    for builder in (
+        inter_allgather_option,
+        inter_alltoall_option,
+        double_compression_option,
+    ):
+        for device in (Device.GPU, Device.CPU):
+            option = builder(device)
+            assert validate_option(option) == []
+            assert option.compresses
+            assert option.compresses_inter
+
+
+def test_double_compression_touches_both_scopes():
+    option = double_compression_option(Device.GPU)
+    assert option.compresses_intra
+    assert option.compresses_inter
+
+
+def test_inter_only_options_do_not_compress_intra():
+    assert not inter_allgather_option(Device.GPU).compresses_intra
+    assert not inter_alltoall_option(Device.CPU).compresses_intra
+
+
+def test_with_device_moves_every_device_task():
+    option = double_compression_option(Device.GPU)
+    moved = option.with_device(Device.CPU)
+    assert moved.devices == (Device.CPU,) * len(option.devices)
+    assert moved.uses_device(Device.CPU)
+    assert not moved.uses_device(Device.GPU)
+    # Communication structure untouched.
+    assert [a.task for a in moved.actions] == [a.task for a in option.actions]
+
+
+def test_describe_readable():
+    text = inter_allgather_option(Device.GPU).describe()
+    assert "inter:comm_comp[allgather]" in text
+    assert text.startswith("hier:")
+
+
+def test_validate_catches_pairing_violation():
+    option = CompressionOption(
+        actions=(
+            Action(ActionTask.COMM1, Phase.FLAT, routine=RoutineName.REDUCE_SCATTER),
+            Action(ActionTask.COMM2, Phase.FLAT, routine=RoutineName.BROADCAST),
+        ),
+        flat=True,
+    )
+    problems = validate_option(option)
+    assert any("pairs with" in p for p in problems)
+
+
+def test_validate_catches_compressed_comm_on_dense_payload():
+    option = CompressionOption(
+        actions=(
+            Action(ActionTask.COMM_C, Phase.FLAT, routine=RoutineName.ALLGATHER),
+        ),
+        flat=True,
+    )
+    problems = validate_option(option)
+    assert any("dense payload" in p for p in problems)
+
+
+def test_validate_catches_missing_final_decompress():
+    option = CompressionOption(
+        actions=(
+            Action(ActionTask.COMP, Phase.FLAT, device=Device.GPU),
+            Action(ActionTask.COMM_C, Phase.FLAT, routine=RoutineName.ALLGATHER),
+        ),
+        flat=True,
+    )
+    problems = validate_option(option)
+    assert any("compressed payload" in p for p in problems)
+
+
+def test_validate_catches_phase_mixing():
+    option = CompressionOption(
+        actions=(
+            Action(ActionTask.COMM, Phase.INTER, routine=RoutineName.ALLREDUCE),
+        ),
+        flat=True,
+    )
+    problems = validate_option(option)
+    assert any("flat option contains" in p for p in problems)

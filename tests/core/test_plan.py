@@ -1,0 +1,156 @@
+"""Plan-compiler tests: options -> priced stage chains."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, nvlink_100g_cluster, single_gpu
+from repro.compression import DGC, EFSignSGD, NoCompression
+from repro.core.options import Device, no_compression_option
+from repro.core.plan import PlanCompiler
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.core.tree import enumerate_options
+from repro.profiling import v100_gpu, xeon_cpu
+from repro.sim.stages import COMM, COMPRESS, CPU, DECOMPRESS, GPU, INTER, INTRA
+from repro.utils.units import MB
+
+
+def make_compiler(cluster=None, compressor=None):
+    return PlanCompiler(
+        cluster=cluster or nvlink_100g_cluster(num_machines=4, gpus_per_machine=4),
+        compressor=compressor or DGC(ratio=0.01),
+        gpu=v100_gpu(),
+        cpu=xeon_cpu(),
+    )
+
+
+ELEMENTS = int(64 * MB / 4)
+
+
+def test_fp32_option_stages():
+    compiler = make_compiler()
+    stages = compiler.stages(no_compression_option(), ELEMENTS)
+    assert [s.resource for s in stages] == [INTRA, INTER, INTRA]
+    assert all(s.kind == COMM for s in stages)
+    assert all(s.duration > 0 for s in stages)
+
+
+def test_single_gpu_needs_no_sync():
+    compiler = make_compiler(cluster=single_gpu())
+    assert compiler.stages(no_compression_option(), ELEMENTS) == []
+
+
+def test_single_machine_drops_inter_phase():
+    cluster = ClusterSpec(
+        num_machines=1, gpus_per_machine=8, intra_bw=1e11, inter_bw=1e10
+    )
+    compiler = make_compiler(cluster=cluster)
+    stages = compiler.stages(no_compression_option(), ELEMENTS)
+    assert [s.resource for s in stages] == [INTRA, INTRA]
+
+
+def test_compression_reduces_inter_time():
+    compiler = make_compiler()
+    plain = compiler.stages(no_compression_option(), ELEMENTS)
+    compressed = compiler.stages(inter_allgather_option(Device.GPU), ELEMENTS)
+    plain_inter = sum(s.duration for s in plain if s.resource == INTER)
+    comp_inter = sum(s.duration for s in compressed if s.resource == INTER)
+    assert comp_inter < plain_inter / 5
+
+
+def test_gpu_option_uses_gpu_resource():
+    compiler = make_compiler()
+    stages = compiler.stages(inter_allgather_option(Device.GPU), ELEMENTS)
+    device_stages = [s for s in stages if s.kind in (COMPRESS, DECOMPRESS)]
+    assert device_stages
+    assert all(s.resource == GPU for s in device_stages)
+
+
+def test_cpu_option_uses_cpu_resource():
+    compiler = make_compiler()
+    stages = compiler.stages(inter_allgather_option(Device.CPU), ELEMENTS)
+    device_stages = [s for s in stages if s.kind in (COMPRESS, DECOMPRESS)]
+    assert all(s.resource == CPU for s in device_stages)
+
+
+def test_cpu_compression_slower_than_gpu():
+    compiler = make_compiler()
+    gpu_comp = [
+        s
+        for s in compiler.stages(inter_allgather_option(Device.GPU), ELEMENTS)
+        if s.kind == COMPRESS
+    ][0]
+    cpu_comp = [
+        s
+        for s in compiler.stages(inter_allgather_option(Device.CPU), ELEMENTS)
+        if s.kind == COMPRESS
+    ][0]
+    assert cpu_comp.duration > gpu_comp.duration
+
+
+def test_divisible_scheme_cheaper_comm_more_compression():
+    """Fig. 5's trade-off: divisible schemes save bytes, cost extra
+    compression operations."""
+    compiler = make_compiler()
+    indivisible = compiler.stages(inter_allgather_option(Device.GPU), ELEMENTS)
+    divisible = compiler.stages(inter_alltoall_option(Device.GPU), ELEMENTS)
+    indiv_comm = sum(
+        s.duration for s in indivisible if s.resource == INTER
+    )
+    div_comm = sum(s.duration for s in divisible if s.resource == INTER)
+    assert div_comm < indiv_comm
+    indiv_ops = sum(1 for s in indivisible if s.kind == COMPRESS)
+    div_ops = sum(1 for s in divisible if s.kind == COMPRESS)
+    assert div_ops > indiv_ops
+
+
+def test_double_compression_reduces_intra_traffic():
+    compiler = make_compiler()
+    inter_only = compiler.stages(inter_alltoall_option(Device.GPU), ELEMENTS)
+    both = compiler.stages(double_compression_option(Device.GPU), ELEMENTS)
+    intra_inter_only = sum(s.duration for s in inter_only if s.resource == INTRA)
+    intra_both = sum(s.duration for s in both if s.resource == INTRA)
+    assert intra_both < intra_inter_only
+
+
+def test_no_compression_algorithm_has_zero_device_cost():
+    compiler = make_compiler(compressor=NoCompression())
+    stages = compiler.stages(no_compression_option(), ELEMENTS)
+    assert all(s.kind == COMM for s in stages)
+
+
+def test_every_tree_option_compiles():
+    compiler = make_compiler(compressor=EFSignSGD())
+    for option in enumerate_options(mode="uniform"):
+        stages = compiler.stages(option, ELEMENTS)
+        assert all(s.duration >= 0 for s in stages)
+
+
+def test_stage_cache_reuses_results():
+    compiler = make_compiler()
+    option = inter_allgather_option(Device.GPU)
+    first = compiler.stages(option, ELEMENTS)
+    second = compiler.stages(option, ELEMENTS)
+    assert first is second
+
+
+def test_invalid_size_rejected():
+    compiler = make_compiler()
+    with pytest.raises(ValueError):
+        compiler.stages(no_compression_option(), 0)
+
+
+def test_quantizer_compresses_more_than_sparsifier_at_1pct():
+    """DGC at 1% ships ~2% of bytes (values+indices); EFSignSGD ~3%."""
+    dgc = make_compiler(compressor=DGC(ratio=0.01))
+    sign = make_compiler(compressor=EFSignSGD())
+    option = inter_allgather_option(Device.GPU)
+    dgc_inter = sum(
+        s.duration for s in dgc.stages(option, ELEMENTS) if s.resource == INTER
+    )
+    sign_inter = sum(
+        s.duration for s in sign.stages(option, ELEMENTS) if s.resource == INTER
+    )
+    assert dgc_inter < sign_inter

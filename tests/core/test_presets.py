@@ -1,0 +1,51 @@
+"""Preset option-pipeline tests."""
+
+from repro.core.options import ActionTask, Device, Phase, validate_option
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+
+
+def test_inter_allgather_is_single_compression():
+    option = inter_allgather_option(Device.GPU)
+    comps = [a for a in option.actions if a.task is ActionTask.COMP]
+    assert len(comps) == 1
+    assert comps[0].phase is Phase.INTER
+
+
+def test_inter_alltoall_recompresses():
+    option = inter_alltoall_option(Device.CPU)
+    comps = [a for a in option.actions if a.task is ActionTask.COMP]
+    assert len(comps) == 2  # first step + re-compression of the aggregate
+
+
+def test_inter_alltoall_without_recompression():
+    option = inter_alltoall_option(Device.GPU, recompress=False)
+    comps = [a for a in option.actions if a.task is ActionTask.COMP]
+    assert len(comps) == 1
+    assert validate_option(option) == []
+
+
+def test_double_compression_compresses_three_times():
+    option = double_compression_option(Device.GPU)
+    comps = [a for a in option.actions if a.task is ActionTask.COMP]
+    assert len(comps) == 3  # intra1, recompress, inter second-step
+    phases = {a.phase for a in comps}
+    assert Phase.INTRA1 in phases and Phase.INTER in phases
+
+
+def test_presets_exist_in_enumerated_tree():
+    """Every preset pipeline is one of the tree's enumerated paths."""
+    from repro.core.tree import enumerate_options
+
+    tree = {
+        tuple((a.task, a.phase, a.routine) for a in o.actions)
+        for o in enumerate_options(mode="uniform")
+    }
+    for builder in (inter_allgather_option, inter_alltoall_option,
+                    double_compression_option):
+        option = builder(Device.GPU)
+        key = tuple((a.task, a.phase, a.routine) for a in option.actions)
+        assert key in tree, builder.__name__

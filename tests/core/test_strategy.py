@@ -1,0 +1,86 @@
+"""CompressionStrategy and StrategyEvaluator tests."""
+
+import pytest
+
+from repro.core.options import Device
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import CompressionStrategy, baseline_strategy
+
+
+def test_baseline_strategy_all_uncompressed():
+    strategy = baseline_strategy(5)
+    assert len(strategy) == 5
+    assert strategy.compressed_indices == []
+
+
+def test_replace_is_functional():
+    strategy = baseline_strategy(3)
+    option = inter_allgather_option(Device.GPU)
+    updated = strategy.replace(1, option)
+    assert updated.compressed_indices == [1]
+    assert strategy.compressed_indices == []  # original untouched
+
+
+def test_device_indices():
+    strategy = baseline_strategy(4)
+    strategy = strategy.replace(0, inter_allgather_option(Device.GPU))
+    strategy = strategy.replace(2, inter_allgather_option(Device.CPU))
+    assert strategy.device_indices(Device.GPU) == [0]
+    assert strategy.device_indices(Device.CPU) == [2]
+
+
+def test_empty_strategy_rejected():
+    with pytest.raises(ValueError):
+        CompressionStrategy(options=())
+
+
+def test_evaluator_fp32_iteration(tiny_evaluator, tiny_model):
+    iteration = tiny_evaluator.iteration_time(tiny_evaluator.baseline())
+    # Iteration >= pure compute, < compute + all comm serial.
+    assert iteration >= tiny_model.iteration_compute_time
+    assert iteration < 10 * tiny_model.iteration_compute_time
+
+
+def test_evaluator_timeline_matches_fast_path(tiny_evaluator, tiny_model):
+    strategy = tiny_evaluator.baseline()
+    timeline = tiny_evaluator.timeline(strategy)
+    assert tiny_evaluator.iteration_time(strategy) == pytest.approx(
+        tiny_model.forward_time + timeline.makespan
+    )
+
+
+def test_evaluator_rejects_wrong_length(tiny_evaluator):
+    with pytest.raises(ValueError, match="covers"):
+        tiny_evaluator.iteration_time(baseline_strategy(99))
+
+
+def test_evaluator_counts_evaluations(tiny_evaluator):
+    before = tiny_evaluator.evaluations
+    tiny_evaluator.iteration_time(tiny_evaluator.baseline())
+    tiny_evaluator.timeline(tiny_evaluator.baseline())
+    assert tiny_evaluator.evaluations == before + 2
+
+
+def test_compression_changes_iteration_time(medium_evaluator):
+    baseline = medium_evaluator.baseline()
+    option = inter_allgather_option(Device.GPU)
+    compressed = baseline
+    for i in range(len(baseline)):
+        compressed = compressed.replace(i, option)
+    assert medium_evaluator.iteration_time(compressed) != pytest.approx(
+        medium_evaluator.iteration_time(baseline)
+    )
+
+
+def test_throughput_and_scaling(medium_evaluator, medium_model, small_cluster):
+    strategy = medium_evaluator.baseline()
+    iteration = medium_evaluator.iteration_time(strategy)
+    assert medium_evaluator.throughput(strategy) == pytest.approx(
+        medium_model.batch_size * small_cluster.total_gpus / iteration
+    )
+    assert 0 < medium_evaluator.scaling_factor(strategy) <= 1.0
+
+
+def test_describe_lists_every_tensor(tiny_evaluator):
+    text = tiny_evaluator.baseline().describe()
+    assert text.count("\n") == 2  # three tensors, three lines

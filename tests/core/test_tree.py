@@ -1,0 +1,104 @@
+"""Decision-tree enumeration tests (Fig. 8 / Table 3)."""
+
+import pytest
+
+from repro.core.options import (
+    ActionTask,
+    Device,
+    Phase,
+    ROUTINE_PAIRING,
+    RoutineName,
+    validate_option,
+)
+from repro.core.tree import enumerate_options, search_space_size, structural_paths
+
+
+def test_every_enumerated_option_is_valid():
+    for mode in ("uniform", "gpu", "cpu"):
+        for option in enumerate_options(mode=mode):
+            assert validate_option(option) == [], option.describe()
+
+
+def test_structural_path_count_stable():
+    # Documented in DESIGN.md / EXPERIMENTS.md; a change means the tree
+    # shape changed and the docs must be updated.
+    assert len(structural_paths()) == 82
+
+
+def test_search_space_magnitude():
+    """Independent device assignment yields a Table 3-scale |C|
+    (thousands, like the paper's 4341)."""
+    size = search_space_size("independent")
+    assert 1000 < size < 20000
+
+
+def test_uniform_counts():
+    options = enumerate_options(mode="uniform")
+    compressed = [o for o in options if o.compresses]
+    dense = [o for o in options if not o.compresses]
+    # Every compressed structural path appears twice (GPU + CPU).
+    assert len(compressed) % 2 == 0
+    assert len(dense) + len(compressed) == len(options)
+    # The dense paths include the canonical FP32 hierarchical option.
+    assert any(not o.flat and len(o.actions) == 3 for o in dense)
+
+
+def test_gpu_mode_uses_only_gpu():
+    for option in enumerate_options(mode="gpu"):
+        assert all(d is Device.GPU for d in option.devices)
+
+
+def test_cpu_mode_uses_only_cpu():
+    for option in enumerate_options(mode="cpu"):
+        assert all(d is Device.CPU for d in option.devices)
+
+
+def test_include_flags():
+    no_flat = enumerate_options(mode="gpu", include_flat=False)
+    assert all(not option.flat for option in no_flat)
+    no_rooted = enumerate_options(mode="gpu", include_rooted=False)
+    rooted = {RoutineName.REDUCE, RoutineName.BROADCAST, RoutineName.GATHER}
+    for option in no_rooted:
+        assert not any(a.routine in rooted for a in option.actions if a.routine)
+
+
+def test_routine_pairing_enforced_in_paths():
+    """Pruning rule 3: every divisible scheme's steps pair correctly."""
+    for option in enumerate_options(mode="uniform"):
+        stack = []
+        for action in option.actions:
+            if action.task in (ActionTask.COMM1, ActionTask.COMM1_C):
+                stack.append(action.routine)
+            elif action.task in (ActionTask.COMM2, ActionTask.COMM2_C):
+                first = stack.pop()
+                assert action.routine is ROUTINE_PAIRING[first]
+
+
+def test_intra_always_divisible():
+    """Dimension 4: hierarchical intra phases never use indivisible
+    schemes (no Allreduce / standalone compressed Allgather in INTRA1)."""
+    for option in enumerate_options(mode="uniform"):
+        for action in option.actions:
+            if action.phase is Phase.INTRA1:
+                assert action.task not in (ActionTask.COMM, ActionTask.COMM_C)
+
+
+def test_compressed_comm_only_after_comp():
+    """State machine sanity is already in validate_option; spot-check the
+    four Dimension-1/3 combinations all exist."""
+    options = enumerate_options(mode="uniform")
+    assert any(o.flat and not o.compresses for o in options)
+    assert any(o.flat and o.compresses for o in options)
+    assert any(not o.flat and not o.compresses for o in options)
+    assert any(not o.flat and o.compresses_intra and o.compresses_inter for o in options)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="device mode"):
+        enumerate_options(mode="tpu")
+
+
+def test_enumeration_deterministic():
+    a = [o.describe() for o in enumerate_options(mode="uniform")]
+    b = [o.describe() for o in enumerate_options(mode="uniform")]
+    assert a == b

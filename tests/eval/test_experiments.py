@@ -1,0 +1,70 @@
+"""Experiment-harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EspressoSystem, FP32
+from repro.cluster import nvlink_100g_cluster
+from repro.config import GCInfo
+from repro.eval import cdf, gpu_count_sweep, make_job, run_systems, upper_bound_gaps
+from repro.models import synthetic_model
+from repro.utils.units import MB, MS
+
+
+@pytest.fixture
+def sweep_model():
+    return synthetic_model(
+        "sweep",
+        [(int(64 * MB / 4), 10 * MS), (int(128 * MB / 4), 12 * MS)],
+        forward_time=10 * MS,
+    )
+
+
+def test_run_systems_names(medium_job):
+    results = run_systems(medium_job, systems=[FP32, EspressoSystem])
+    assert set(results) == {"FP32", "Espresso"}
+
+
+def test_sweep_covers_grid(sweep_model):
+    points = gpu_count_sweep(
+        sweep_model,
+        GCInfo("dgc", {"ratio": 0.01}),
+        lambda m: nvlink_100g_cluster(num_machines=m, gpus_per_machine=4),
+        machine_counts=(1, 2),
+        systems=[FP32, EspressoSystem],
+    )
+    assert len(points) == 4
+    assert {p.num_gpus for p in points} == {4, 8}
+
+
+def test_espresso_gains_grow_with_scale(sweep_model):
+    """The paper's observation: compression matters more at larger scale."""
+    points = gpu_count_sweep(
+        sweep_model,
+        GCInfo("dgc", {"ratio": 0.01}),
+        lambda m: nvlink_100g_cluster(num_machines=m, gpus_per_machine=4),
+        machine_counts=(2, 8),
+        systems=[FP32, EspressoSystem],
+    )
+    def ratio(gpus):
+        by_name = {p.system: p for p in points if p.num_gpus == gpus}
+        return by_name["Espresso"].throughput / by_name["FP32"].throughput
+
+    assert ratio(32) >= ratio(8) * 0.98
+
+
+def test_upper_bound_gaps_nonnegative(medium_job):
+    gaps = upper_bound_gaps(medium_job, systems=[FP32, EspressoSystem])
+    assert set(gaps) == {"FP32", "Espresso"}
+    for value in gaps.values():
+        assert 0.0 <= value <= 100.0
+    # Espresso sits closer to the bound than FP32.
+    assert gaps["Espresso"] <= gaps["FP32"] + 1e-9
+
+
+def test_cdf():
+    values, fractions = cdf([3.0, 1.0, 2.0])
+    np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+    np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+    with pytest.raises(ValueError):
+        cdf([])

@@ -1,0 +1,13 @@
+"""Helpers of the experiment harness."""
+
+from repro.cluster import pcie_25g_cluster
+from repro.config import GCInfo
+from repro.eval import make_job
+from repro.models import get_model
+
+
+def test_make_job_defaults_devices():
+    job = make_job(get_model("lstm"), GCInfo("efsignsgd"), pcie_25g_cluster())
+    assert job.system.gpu.is_gpu
+    assert not job.system.cpu.is_gpu
+    assert job.build_compressor().name == "efsignsgd"

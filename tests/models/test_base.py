@@ -1,0 +1,75 @@
+"""ModelProfile / TensorProfile invariants."""
+
+import pytest
+
+from repro.models import ModelProfile, TensorProfile, synthetic_model
+from repro.models.base import build_profile
+
+
+def test_distance_to_output_convention():
+    """Paper Fig. 9: the tensor computed last is closest to the output."""
+    model = synthetic_model("m", [(100, 0.01), (100, 0.01), (100, 0.01)])
+    assert model.distance_to_output(2) == 0
+    assert model.distance_to_output(0) == 2
+
+
+def test_distance_out_of_range():
+    model = synthetic_model("m", [(100, 0.01)])
+    with pytest.raises(IndexError):
+        model.distance_to_output(1)
+
+
+def test_totals():
+    model = synthetic_model("m", [(1000, 0.01), (500, 0.02)])
+    assert model.total_bytes == 1500 * 4
+    assert model.backward_time == pytest.approx(0.03)
+    assert model.iteration_compute_time == pytest.approx(0.03 + model.forward_time)
+
+
+def test_single_gpu_throughput():
+    model = synthetic_model("m", [(100, 0.05)], forward_time=0.05, batch_size=10)
+    assert model.single_gpu_throughput() == pytest.approx(100.0)
+
+
+def test_build_profile_normalizes_weights():
+    model = build_profile(
+        "n",
+        [("a", 10, 1.0), ("b", 10, 3.0)],
+        backward_time=0.4,
+        forward_time=0.1,
+        batch_size=1,
+        sample_unit="images",
+        dataset="d",
+    )
+    assert model.tensors[0].compute_time == pytest.approx(0.1)
+    assert model.tensors[1].compute_time == pytest.approx(0.3)
+
+
+def test_build_profile_rejects_zero_weights():
+    with pytest.raises(ValueError, match="positive sum"):
+        build_profile(
+            "n",
+            [("a", 10, 0.0)],
+            backward_time=0.4,
+            forward_time=0.1,
+            batch_size=1,
+            sample_unit="images",
+            dataset="d",
+        )
+
+
+def test_tensor_profile_validation():
+    with pytest.raises(ValueError):
+        TensorProfile(name="t", num_elements=0, compute_time=0.1)
+    with pytest.raises(ValueError):
+        TensorProfile(name="t", num_elements=10, compute_time=-0.1)
+
+
+def test_model_profile_validation():
+    tensor = TensorProfile(name="t", num_elements=10, compute_time=0.1)
+    with pytest.raises(ValueError):
+        ModelProfile(name="m", tensors=(), forward_time=0.1, batch_size=1)
+    with pytest.raises(ValueError):
+        ModelProfile(name="m", tensors=(tensor,), forward_time=0.0, batch_size=1)
+    with pytest.raises(ValueError):
+        ModelProfile(name="m", tensors=(tensor,), forward_time=0.1, batch_size=0)

@@ -1,0 +1,31 @@
+"""Synthetic / didactic model builders."""
+
+import pytest
+
+from repro.models import synthetic_model, three_tensor_job, two_tensor_job, uniform_model
+
+
+def test_synthetic_model_order_and_names():
+    model = synthetic_model("s", [(10, 0.001), (20, 0.002)])
+    assert [t.name for t in model.tensors] == ["T0", "T1"]
+    assert model.tensors[1].num_elements == 20
+
+
+def test_three_tensor_job_shape():
+    model = three_tensor_job()
+    assert model.num_tensors == 3
+    sizes = [t.num_elements for t in model.tensors]
+    assert sizes[2] > sizes[0]  # T2 is the big, late tensor
+
+
+def test_two_tensor_job_parameterized():
+    model = two_tensor_job(t0_mb=10.0, t1_mb=2.0)
+    assert model.num_tensors == 2
+    assert model.tensors[0].nbytes == pytest.approx(10 * 2**20, rel=1e-6)
+
+
+def test_uniform_model():
+    model = uniform_model(5, tensor_mb=4.0, compute_ms=2.0)
+    assert model.num_tensors == 5
+    assert len({t.num_elements for t in model.tensors}) == 1
+    assert model.backward_time == pytest.approx(0.010)

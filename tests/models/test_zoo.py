@@ -1,0 +1,74 @@
+"""Model zoo tests: the paper's Table 4 / Table 5 characteristics."""
+
+import pytest
+
+from repro.models import available_models, get_model
+
+#: Paper Table 5 tensor counts and Table 4 model sizes (MB).
+PAPER = {
+    "vgg16": (32, 528),
+    "resnet101": (314, 170),
+    "ugatit": (148, 2559),
+    "bert-base": (207, 420),
+    "gpt2": (148, 475),
+    "lstm": (10, 328),
+}
+
+
+def test_all_six_models_available():
+    assert set(available_models()) == set(PAPER)
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_tensor_counts_match_table5(name):
+    model = get_model(name)
+    assert model.num_tensors == PAPER[name][0]
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_model_sizes_match_table4(name):
+    model = get_model(name)
+    paper_mb = PAPER[name][1]
+    assert model.size_mb == pytest.approx(paper_mb, rel=0.06)
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_profiles_are_well_formed(name):
+    model = get_model(name)
+    assert model.backward_time > 0
+    assert model.forward_time > 0
+    # Backward is the larger share of an iteration.
+    assert model.backward_time > model.forward_time
+    names = [t.name for t in model.tensors]
+    assert len(names) == len(set(names)), "tensor names must be unique"
+    assert all(t.num_elements >= 1 for t in model.tensors)
+
+
+def test_nlp_models_use_token_units():
+    for name in ("bert-base", "gpt2", "lstm"):
+        assert get_model(name).sample_unit == "tokens"
+    for name in ("vgg16", "resnet101", "ugatit"):
+        assert get_model(name).sample_unit == "images"
+
+
+def test_bert_has_few_distinct_sizes():
+    """Fig. 11: BERT-base tensors share a handful of sizes."""
+    model = get_model("bert-base")
+    distinct = {t.num_elements for t in model.tensors}
+    assert len(distinct) <= 15
+    # The dominant sizes repeat 12x (once per encoder layer) or more.
+    from collections import Counter
+
+    counts = Counter(t.num_elements for t in model.tensors)
+    assert max(counts.values()) >= 12
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError, match="available"):
+        get_model("alexnet")
+
+
+def test_profiles_deterministic():
+    a = get_model("gpt2")
+    b = get_model("gpt2")
+    assert a == b

@@ -1,0 +1,37 @@
+"""Device-profile tests."""
+
+import pytest
+
+from repro.profiling import DeviceProfile, v100_gpu, xeon_cpu
+
+
+def test_gpu_profile_shape():
+    gpu = v100_gpu()
+    assert gpu.is_gpu
+    assert gpu.transfer_bw is None
+    assert gpu.parallel_workers == 1
+    assert gpu.launch_overhead > 0
+
+
+def test_cpu_profile_shape():
+    cpu = xeon_cpu()
+    assert not cpu.is_gpu
+    assert cpu.transfer_bw is not None
+    assert cpu.parallel_workers >= 2
+    # CPU streaming pass is slower than the GPU's.
+    assert cpu.throughput < v100_gpu().throughput
+    # But its launch overhead is smaller (no kernel launch).
+    assert cpu.launch_overhead < v100_gpu().launch_overhead
+
+
+def test_invalid_profiles():
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="tpu", launch_overhead=0, throughput=1)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="gpu", launch_overhead=-1, throughput=1)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="gpu", launch_overhead=0, throughput=0)
+    with pytest.raises(ValueError):
+        DeviceProfile(
+            name="x", kind="cpu", launch_overhead=0, throughput=1, parallel_workers=0
+        )

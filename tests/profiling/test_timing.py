@@ -1,0 +1,94 @@
+"""Compression time-model tests."""
+
+import pytest
+
+from repro.compression import DGC, EFSignSGD, NoCompression
+from repro.profiling import (
+    CompressionTimeModel,
+    fit_linear,
+    measure_compressor,
+    time_model,
+    v100_gpu,
+    xeon_cpu,
+)
+from repro.utils.units import MB
+
+
+def test_zero_work_factor_is_free():
+    model = time_model(v100_gpu(), NoCompression())
+    assert model.compress_time(100 * MB) == 0.0
+    assert model.decompress_time(100 * MB) == 0.0
+    assert model.aggregate_time(100 * MB) == 0.0
+
+
+def test_launch_overhead_dominates_tiny_tensors():
+    """Fig. 10's driver: GPU compression of tiny tensors is mostly launch."""
+    model = time_model(v100_gpu(), DGC(ratio=0.01))
+    tiny = model.compress_time(1024)
+    assert tiny == pytest.approx(v100_gpu().launch_overhead, rel=0.05)
+
+
+def test_times_grow_linearly_in_size():
+    model = time_model(v100_gpu(), DGC(ratio=0.01))
+    t1 = model.compress_time(16 * MB)
+    t2 = model.compress_time(32 * MB)
+    # Slope positive, intercept shared.
+    assert t2 - t1 == pytest.approx(
+        model.work_factor * 16 * MB / v100_gpu().throughput
+    )
+
+
+def test_cpu_pays_transfer():
+    cpu = xeon_cpu()
+    model = time_model(cpu, EFSignSGD())
+    nbytes = 64 * MB
+    expected_transfer = nbytes / cpu.transfer_bw
+    without_transfer = cpu.launch_overhead + nbytes / cpu.throughput
+    assert model.compress_time(nbytes) == pytest.approx(
+        without_transfer + expected_transfer
+    )
+    # Decompression transfers the dense result back.
+    assert model.decompress_time(nbytes) > expected_transfer
+
+
+def test_decompress_cheaper_than_compress_on_gpu():
+    model = time_model(v100_gpu(), DGC(ratio=0.01))
+    assert model.decompress_time(64 * MB) < model.compress_time(64 * MB)
+
+
+def test_aggregate_time_positive():
+    model = time_model(v100_gpu(), DGC(ratio=0.01))
+    assert model.aggregate_time(64 * MB) > 0
+
+
+def test_negative_bytes_rejected():
+    model = time_model(v100_gpu(), DGC(ratio=0.01))
+    with pytest.raises(ValueError):
+        model.compress_time(-1)
+
+
+def test_fit_linear_recovers_line():
+    fit = fit_linear([0, 10, 20], [1.0, 2.0, 3.0])
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.slope == pytest.approx(0.1)
+    assert fit(30) == pytest.approx(4.0)
+
+
+def test_fit_linear_validation():
+    with pytest.raises(ValueError):
+        fit_linear([1], [1])
+    with pytest.raises(ValueError):
+        fit_linear([1, 2], [1])
+
+
+def test_measure_compressor_runs_real_kernels():
+    results = measure_compressor(EFSignSGD(), [1024, 8192], repeats=3)
+    assert set(results) == {1024, 8192}
+    for compress_time, decompress_time in results.values():
+        assert compress_time > 0
+        assert decompress_time > 0
+
+
+def test_measure_compressor_validation():
+    with pytest.raises(ValueError):
+        measure_compressor(EFSignSGD(), [64], repeats=0)

@@ -1,0 +1,59 @@
+"""Execution-trace collection / averaging tests (§4.3)."""
+
+import pytest
+
+from repro.models import synthetic_model
+from repro.profiling import average_traces, collect_traces
+
+
+@pytest.fixture
+def model():
+    return synthetic_model("t", [(1000, 0.010), (2000, 0.020), (500, 0.005)])
+
+
+def test_traces_have_model_shape(model):
+    traces = collect_traces(model, iterations=10, seed=1)
+    assert len(traces) == 10
+    for iteration in traces:
+        assert len(iteration) == model.num_tensors
+        assert [r.tensor_name for r in iteration] == [t.name for t in model.tensors]
+
+
+def test_traces_are_contiguous(model):
+    traces = collect_traces(model, iterations=3, seed=2)
+    for iteration in traces:
+        clock = 0.0
+        for record in iteration:
+            assert record.start == pytest.approx(clock)
+            assert record.end > record.start
+            clock = record.end
+
+
+def test_zero_jitter_reproduces_profile(model):
+    traces = collect_traces(model, iterations=5, jitter=0.0)
+    averaged, std = average_traces(model, traces)
+    assert std == pytest.approx(0.0, abs=1e-12)
+    for original, rebuilt in zip(model.tensors, averaged.tensors):
+        assert rebuilt.compute_time == pytest.approx(original.compute_time)
+
+
+def test_averaging_converges_to_profile(model):
+    traces = collect_traces(model, iterations=300, jitter=0.03, seed=3)
+    averaged, std = average_traces(model, traces)
+    assert std < 0.05  # the paper's "< 5% normalized std"
+    for original, rebuilt in zip(model.tensors, averaged.tensors):
+        assert rebuilt.compute_time == pytest.approx(
+            original.compute_time, rel=0.02
+        )
+
+
+def test_validation(model):
+    with pytest.raises(ValueError):
+        collect_traces(model, iterations=0)
+    with pytest.raises(ValueError):
+        collect_traces(model, jitter=1.5)
+    with pytest.raises(ValueError):
+        average_traces(model, [])
+    other = synthetic_model("other", [(10, 0.01)])
+    with pytest.raises(ValueError):
+        average_traces(other, collect_traces(model, iterations=2))

@@ -1,0 +1,106 @@
+"""Timeline-metric tests: intervals, overheads, throughput."""
+
+import pytest
+
+from repro.models import synthetic_model
+from repro.cluster import nvlink_100g_cluster
+from repro.sim import (
+    COMM,
+    COMPRESS,
+    INTER,
+    Stage,
+    TensorChain,
+    communication_overhead,
+    communication_time,
+    compression_overhead,
+    compression_time,
+    compute_stage,
+    idle_gaps,
+    iteration_time,
+    merge_intervals,
+    scaling_factor,
+    simulate,
+    subtract_intervals,
+    throughput,
+    total_length,
+)
+
+
+def test_merge_intervals():
+    assert merge_intervals([(0, 1), (2, 3), (0.5, 2.5)]) == [(0, 3)]
+    assert merge_intervals([(1, 1), (2, 3)]) == [(2, 3)]  # empty dropped
+    assert merge_intervals([]) == []
+
+
+def test_total_length_overlapping():
+    assert total_length([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+
+def test_subtract_intervals():
+    remaining = subtract_intervals([(0, 10)], [(2, 4), (6, 7)])
+    assert remaining == [(0, 2), (4, 6), (7, 10)]
+
+
+def test_subtract_full_cover():
+    assert subtract_intervals([(1, 2)], [(0, 5)]) == []
+
+
+def _timeline(stages_per_tensor):
+    chains = [
+        TensorChain(tensor_index=i, stages=[compute_stage(0.01), *stages])
+        for i, stages in enumerate(stages_per_tensor)
+    ]
+    return simulate(chains)
+
+
+def test_paper_overhead_definitions():
+    """T0's comm overlaps T1's compute -> zero o_comm for that part."""
+    comm = Stage(resource=INTER, duration=0.01, kind=COMM, label="")
+    timeline = _timeline([[comm], []])
+    # T0 comm runs (0.01, 0.02); T1 compute runs (0.01, 0.02): full overlap.
+    assert communication_time(timeline) == pytest.approx(0.01)
+    assert communication_overhead(timeline) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_exposed_communication_counts_as_overhead():
+    comm = Stage(resource=INTER, duration=0.05, kind=COMM, label="")
+    timeline = _timeline([[], [comm]])
+    # The last tensor's comm has nothing to hide behind.
+    assert communication_overhead(timeline) == pytest.approx(0.05)
+
+
+def test_compression_overhead_hides_behind_comm():
+    comm = Stage(resource=INTER, duration=0.05, kind=COMM, label="")
+    comp = Stage(resource="cpu", duration=0.03, kind=COMPRESS, label="")
+    timeline = _timeline([[comm], [comp]])
+    assert compression_time(timeline) == pytest.approx(0.03)
+    # T1's CPU compression (0.02..0.05) hides behind T0's comm (0.01..0.06).
+    assert compression_overhead(timeline) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_idle_gaps_detected():
+    comm = Stage(resource=INTER, duration=0.005, kind=COMM, label="")
+    chains = [
+        TensorChain(tensor_index=0, stages=[compute_stage(0.01), comm]),
+        TensorChain(tensor_index=1, stages=[compute_stage(0.05), comm]),
+    ]
+    timeline = simulate(chains)
+    gaps = idle_gaps(timeline, INTER)
+    assert len(gaps) == 1
+    start, end = gaps[0]
+    assert start == pytest.approx(0.015)
+    assert end == pytest.approx(0.06)
+
+
+def test_iteration_and_throughput_and_scaling():
+    model = synthetic_model("m", [(1000, 0.02)], forward_time=0.01, batch_size=8)
+    comm = Stage(resource=INTER, duration=0.01, kind=COMM, label="")
+    timeline = _timeline([[comm]])
+    iteration = iteration_time(timeline, model)
+    cluster = nvlink_100g_cluster(num_machines=2, gpus_per_machine=2)
+    assert throughput(model, cluster, iteration) == pytest.approx(
+        8 * 4 / iteration
+    )
+    assert scaling_factor(model, iteration) == pytest.approx(0.03 / iteration)
+    with pytest.raises(ValueError):
+        throughput(model, cluster, 0.0)

@@ -1,0 +1,43 @@
+"""Stage / chain vocabulary validation."""
+
+import pytest
+
+from repro.sim.stages import (
+    COMM,
+    COMPUTE,
+    GPU,
+    INTER,
+    Stage,
+    TensorChain,
+    compute_stage,
+    make_chains,
+)
+
+
+def test_stage_validation():
+    with pytest.raises(ValueError, match="resource"):
+        Stage(resource="tpu", duration=1.0, kind=COMM)
+    with pytest.raises(ValueError, match="kind"):
+        Stage(resource=GPU, duration=1.0, kind="quantize")
+    with pytest.raises(ValueError):
+        Stage(resource=GPU, duration=-1.0, kind=COMM)
+
+
+def test_compute_stage_helper():
+    stage = compute_stage(0.01)
+    assert stage.resource == GPU
+    assert stage.kind == COMPUTE
+    assert stage.duration == 0.01
+
+
+def test_chain_requires_stages():
+    with pytest.raises(ValueError, match="at least one"):
+        TensorChain(tensor_index=0, stages=[])
+
+
+def test_make_chains_indexes_in_order():
+    comm = Stage(resource=INTER, duration=0.01, kind=COMM)
+    chains = make_chains([0.01, 0.02], [[comm], []])
+    assert [c.tensor_index for c in chains] == [0, 1]
+    assert len(chains[0].stages) == 2
+    assert len(chains[1].stages) == 1

@@ -1,0 +1,64 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in ("vgg16", "resnet101", "ugatit", "bert-base", "gpt2", "lstm"):
+        assert name in out
+
+
+def test_options_command(capsys):
+    assert main(["options", "--mode", "uniform"]) == 0
+    out = capsys.readouterr().out
+    assert "|C| = 155" in out
+
+
+def test_plan_command_small_job(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Espresso selected compression" in out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "--model", "lstm", "--gc", "efsignsgd",
+        "--testbed", "nvlink", "--machines", "2", "--gpus", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "FP32" in out
+    assert "Espresso" in out
+
+
+def test_plan_from_config_files(tmp_path, capsys):
+    from repro.config import GCInfo, save_cluster, save_gc, save_model
+    from repro.cluster import nvlink_100g_cluster
+    from repro.models import synthetic_model
+    from repro.utils.units import MB, MS
+
+    save_model(
+        synthetic_model("cfg", [(int(32 * MB / 4), 8 * MS)]),
+        tmp_path / "m.json",
+    )
+    save_gc(GCInfo("efsignsgd"), tmp_path / "g.json")
+    save_cluster(nvlink_100g_cluster(num_machines=2, gpus_per_machine=2),
+                 tmp_path / "s.json")
+    assert main([
+        "plan",
+        "--model-config", str(tmp_path / "m.json"),
+        "--gc-config", str(tmp_path / "g.json"),
+        "--system-config", str(tmp_path / "s.json"),
+    ]) == 0
+    assert "Espresso selected" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,66 @@
+"""Config round-trip tests (the three Fig. 6 input files)."""
+
+import pytest
+
+from repro.cluster import pcie_25g_cluster
+from repro.config import (
+    GCInfo,
+    SystemInfo,
+    load_cluster,
+    load_gc,
+    load_job,
+    load_model,
+    save_cluster,
+    save_gc,
+    save_model,
+)
+from repro.models import get_model, synthetic_model
+
+
+def test_model_round_trip(tmp_path):
+    model = get_model("lstm")
+    path = tmp_path / "model.json"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded == model
+
+
+def test_cluster_round_trip(tmp_path):
+    cluster = pcie_25g_cluster(num_machines=3)
+    path = tmp_path / "cluster.json"
+    save_cluster(cluster, path)
+    assert load_cluster(path) == cluster
+
+
+def test_gc_round_trip(tmp_path):
+    gc = GCInfo("dgc", {"ratio": 0.02})
+    path = tmp_path / "gc.json"
+    save_gc(gc, path)
+    loaded = load_gc(path)
+    assert loaded == gc
+    compressor = loaded.build()
+    assert compressor.name == "dgc"
+    assert compressor.ratio == 0.02
+
+
+def test_load_job_assembles_everything(tmp_path):
+    save_model(synthetic_model("j", [(1000, 0.01)]), tmp_path / "m.json")
+    save_gc(GCInfo("efsignsgd"), tmp_path / "g.json")
+    save_cluster(pcie_25g_cluster(), tmp_path / "s.json")
+    job = load_job(tmp_path / "m.json", tmp_path / "g.json", tmp_path / "s.json")
+    assert job.model.name == "j"
+    assert job.gc.algorithm == "efsignsgd"
+    assert job.system.cluster.interconnect == "pcie"
+    assert job.build_compressor().name == "efsignsgd"
+
+
+def test_system_info_defaults():
+    info = SystemInfo(cluster=pcie_25g_cluster())
+    assert info.gpu.is_gpu
+    assert not info.cpu.is_gpu
+
+
+def test_gc_unknown_algorithm_fails_at_build():
+    gc = GCInfo("nonexistent")
+    with pytest.raises(ValueError):
+        gc.build()

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import pytest
+
+from repro import (
+    Espresso,
+    GCInfo,
+    JobConfig,
+    SystemInfo,
+    load_job,
+    save_cluster,
+    save_gc,
+    save_model,
+)
+from repro.baselines import ALL_SYSTEMS, UpperBound
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.compression import create_compressor
+from repro.core.strategy import StrategyEvaluator
+from repro.models import get_model, synthetic_model
+from repro.profiling import average_traces, collect_traces
+from repro.sim.metrics import communication_overhead, compression_overhead
+from repro.training import DataParallelTrainer, make_classification
+from repro.utils.units import MB, MS
+
+
+def test_config_files_to_plan(tmp_path):
+    """Fig. 6's flow: three config files in, strategy out."""
+    model = synthetic_model(
+        "pipeline", [(int(64 * MB / 4), 8 * MS), (int(16 * MB / 4), 6 * MS)]
+    )
+    traced, _ = average_traces(model, collect_traces(model, iterations=20, seed=3))
+    save_model(traced, tmp_path / "model.json")
+    save_gc(GCInfo("efsignsgd"), tmp_path / "gc.json")
+    save_cluster(pcie_25g_cluster(num_machines=2), tmp_path / "system.json")
+    job = load_job(tmp_path / "model.json", tmp_path / "gc.json", tmp_path / "system.json")
+    result = Espresso(job).select_strategy()
+    assert result.iteration_time <= result.baseline_iteration_time + 1e-12
+
+
+@pytest.mark.parametrize("gc_name,params", [
+    ("dgc", {"ratio": 0.01}),
+    ("randomk", {"ratio": 0.01}),
+    ("efsignsgd", {}),
+    ("qsgd", {"levels": 255}),
+    ("terngrad", {}),
+    ("fp16", {}),
+])
+def test_every_algorithm_plans_on_a_real_model(gc_name, params):
+    """Each registered GC algorithm flows through planner + simulator."""
+    job = JobConfig(
+        model=get_model("lstm"),
+        gc=GCInfo(gc_name, params),
+        system=SystemInfo(cluster=nvlink_100g_cluster(num_machines=2)),
+    )
+    result = Espresso(job).select_strategy()
+    assert result.iteration_time > 0
+    assert result.speedup_over_fp32 >= 1.0
+
+
+def test_overheads_shrink_under_espresso(pcie_job):
+    """Espresso reduces o_comm without exploding o_comp (§3's framing)."""
+    evaluator = StrategyEvaluator(pcie_job)
+    fp32_timeline = evaluator.timeline(evaluator.baseline())
+    result = Espresso(pcie_job).select_strategy()
+    espresso_timeline = evaluator.timeline(result.strategy)
+    assert communication_overhead(espresso_timeline) < communication_overhead(
+        fp32_timeline
+    )
+    total_overhead_fp32 = communication_overhead(fp32_timeline)
+    total_overhead_esp = communication_overhead(
+        espresso_timeline
+    ) + compression_overhead(espresso_timeline)
+    assert total_overhead_esp < total_overhead_fp32
+
+
+def test_selected_strategy_trains_to_convergence(medium_job):
+    """The strategy's compressor actually trains a model: plan with the
+    simulator, train with the numpy engine, using the same GC config."""
+    result = Espresso(medium_job).select_strategy()
+    assert result.compressed_indices  # the job is comm-bound enough
+    compressor = medium_job.build_compressor()
+    dataset = make_classification(samples=800, features=16, classes=3, seed=2)
+    curve = DataParallelTrainer(
+        dataset, compressor=compressor, workers=4, momentum=0.5, seed=2,
+        step_seconds=result.iteration_time,
+    ).train(steps=120, eval_every=40)
+    assert curve.final_accuracy > 0.75
+    assert curve.seconds[-1] == pytest.approx(120 * result.iteration_time)
+
+
+def test_all_systems_agree_on_single_gpu():
+    """With one GPU there is nothing to synchronize: every system's
+    iteration time equals the pure compute time."""
+    from repro.cluster import single_gpu
+
+    job = JobConfig(
+        model=synthetic_model("solo", [(int(4 * MB / 4), 5 * MS)]),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=single_gpu()),
+    )
+    expected = job.model.iteration_compute_time
+    for system_cls in ALL_SYSTEMS + (UpperBound,):
+        result = system_cls().run(job)
+        assert result.iteration_time == pytest.approx(expected)
+        assert result.scaling_factor == pytest.approx(1.0)
+
+
+def test_compressor_round_trip_matches_plan_sizes():
+    """The wire sizes the cost models charge equal what the real numpy
+    kernels emit."""
+    import numpy as np
+
+    for gc_name, params in (("dgc", {"ratio": 0.01}), ("efsignsgd", {})):
+        compressor = create_compressor(gc_name, **params)
+        tensor = np.random.default_rng(0).standard_normal(100_000).astype("float32")
+        compressed = compressor.compress(tensor, seed=1)
+        assert compressed.nbytes == compressor.compressed_nbytes(tensor.size)

@@ -1,0 +1,61 @@
+"""Synthetic dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.training import make_classification, shard_dataset
+
+
+def test_dataset_shapes():
+    data = make_classification(samples=400, features=16, classes=3, seed=1)
+    assert data.train_x.shape == (300, 16)
+    assert data.test_x.shape == (100, 16)
+    assert data.num_features == 16
+    assert data.num_classes == 3
+
+
+def test_labels_cover_all_classes():
+    data = make_classification(samples=600, classes=4, seed=2)
+    assert set(np.unique(data.train_y)) == {0, 1, 2, 3}
+
+
+def test_deterministic_by_seed():
+    a = make_classification(seed=5)
+    b = make_classification(seed=5)
+    np.testing.assert_array_equal(a.train_x, b.train_x)
+    c = make_classification(seed=6)
+    assert not np.array_equal(a.train_x, c.train_x)
+
+
+def test_task_is_learnable_but_not_trivial():
+    """A nearest-prototype classifier beats chance but noise keeps it
+    from being perfect."""
+    data = make_classification(samples=1000, classes=4, noise=0.6, seed=3)
+    informative = 16
+    centroids = np.stack(
+        [
+            data.train_x[data.train_y == c, :informative].mean(axis=0)
+            for c in range(4)
+        ]
+    )
+    distance = np.linalg.norm(
+        data.test_x[:, None, :informative] - centroids[None], axis=2
+    )
+    accuracy = np.mean(np.argmin(distance, axis=1) == data.test_y)
+    assert 0.7 < accuracy <= 1.0
+
+
+def test_sharding_partitions_everything():
+    data = make_classification(samples=400, seed=4)
+    shards = shard_dataset(data, workers=3)
+    assert len(shards) == 3
+    total = sum(x.shape[0] for x, _ in shards)
+    assert total == data.train_x.shape[0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_classification(features=4, informative=8)
+    data = make_classification(samples=100)
+    with pytest.raises(ValueError):
+        shard_dataset(data, workers=0)

@@ -1,0 +1,75 @@
+"""Data-parallel training engine tests (§5.4 mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import DGC, EFSignSGD, NoCompression, RandomK
+from repro.training import DataParallelTrainer, make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(samples=1200, features=24, classes=3, seed=11)
+
+
+def test_fp32_training_converges(dataset):
+    trainer = DataParallelTrainer(dataset, workers=4, seed=1)
+    curve = trainer.train(steps=150, eval_every=50)
+    assert curve.final_accuracy > 0.8
+    assert curve.train_loss[-1] < curve.train_loss[0]
+
+
+def test_compressed_training_matches_fp32(dataset):
+    """Fig. 16's claim: error-feedback GC preserves accuracy.
+
+    Moderate momentum: high momentum amplifies the bursty error-feedback
+    updates of aggressive sparsifiers (the reason DGC pairs compression
+    with gradient clipping in the paper's setting).
+    """
+    fp32 = DataParallelTrainer(dataset, workers=4, seed=1, momentum=0.5).train(150, 50)
+    for compressor in (DGC(ratio=0.05), EFSignSGD(), RandomK(ratio=0.05)):
+        curve = DataParallelTrainer(
+            dataset, compressor=compressor, workers=4, seed=1, momentum=0.5
+        ).train(150, 50)
+        assert curve.final_accuracy >= fp32.final_accuracy - 0.08, compressor.name
+
+
+def test_single_worker_equals_plain_sgd(dataset):
+    a = DataParallelTrainer(dataset, workers=1, seed=2).train(30, 10)
+    b = DataParallelTrainer(dataset, workers=1, seed=2).train(30, 10)
+    assert a.test_accuracy == b.test_accuracy  # deterministic
+
+
+def test_step_seconds_drive_time_axis(dataset):
+    trainer = DataParallelTrainer(dataset, workers=2, step_seconds=0.5, seed=3)
+    curve = trainer.train(steps=40, eval_every=20)
+    assert curve.steps == [20, 40]
+    assert curve.seconds == [10.0, 20.0]
+
+
+def test_time_to_accuracy(dataset):
+    trainer = DataParallelTrainer(dataset, workers=2, step_seconds=1.0, seed=4)
+    curve = trainer.train(steps=120, eval_every=20)
+    reachable = curve.time_to_accuracy(0.5)
+    assert reachable is not None
+    assert curve.time_to_accuracy(2.0) is None
+
+
+def test_no_compression_default(dataset):
+    trainer = DataParallelTrainer(dataset, compressor=None, workers=2)
+    assert isinstance(trainer.compressor, NoCompression)
+
+
+def test_validation(dataset):
+    with pytest.raises(ValueError):
+        DataParallelTrainer(dataset, workers=0)
+    trainer = DataParallelTrainer(dataset, workers=1)
+    with pytest.raises(ValueError):
+        trainer.train(steps=0)
+
+
+def test_curve_requires_evaluations():
+    from repro.training.engine import TrainingCurve
+
+    with pytest.raises(ValueError):
+        TrainingCurve().final_accuracy

@@ -1,0 +1,36 @@
+"""Classification metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.training import accuracy, macro_f1
+
+
+def test_accuracy_basic():
+    assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+
+def test_accuracy_validation():
+    with pytest.raises(ValueError):
+        accuracy(np.array([1]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_macro_f1_perfect():
+    labels = np.array([0, 1, 2, 0, 1, 2])
+    assert macro_f1(labels, labels) == pytest.approx(1.0)
+
+
+def test_macro_f1_known_value():
+    predictions = np.array([0, 0, 1, 1])
+    labels = np.array([0, 1, 1, 1])
+    # class 0: P=0.5 R=1 F1=2/3 ; class 1: P=1 R=2/3 F1=0.8.
+    assert macro_f1(predictions, labels) == pytest.approx((2 / 3 + 0.8) / 2)
+
+
+def test_macro_f1_handles_missing_class():
+    predictions = np.array([0, 0, 0])
+    labels = np.array([0, 1, 0])
+    value = macro_f1(predictions, labels)
+    assert 0.0 < value < 1.0

@@ -1,0 +1,67 @@
+"""Numpy MLP tests, including a numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.training import MLP
+
+
+def test_parameter_names_stable():
+    mlp = MLP(num_features=8, num_classes=3, hidden=16)
+    assert mlp.parameter_names() == [
+        "fc1.weight",
+        "fc1.bias",
+        "fc2.weight",
+        "fc2.bias",
+        "fc3.weight",
+        "fc3.bias",
+    ]
+
+
+def test_predict_shape():
+    mlp = MLP(num_features=8, num_classes=3, hidden=16)
+    x = np.random.default_rng(0).standard_normal((10, 8))
+    assert mlp.predict(x).shape == (10,)
+
+
+def test_loss_decreases_under_gradient_steps():
+    rng = np.random.default_rng(1)
+    mlp = MLP(num_features=6, num_classes=2, hidden=12, seed=1)
+    x = rng.standard_normal((64, 6)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+    first_loss, _ = mlp.loss_and_gradients(x, y)
+    for _ in range(60):
+        _, grads = mlp.loss_and_gradients(x, y)
+        mlp.apply_update({k: 0.3 * g for k, g in grads.items()})
+    final_loss, _ = mlp.loss_and_gradients(x, y)
+    assert final_loss < first_loss * 0.5
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(2)
+    mlp = MLP(num_features=4, num_classes=3, hidden=5, seed=2)
+    x = rng.standard_normal((8, 4)).astype(np.float32)
+    y = rng.integers(0, 3, size=8)
+    _, grads = mlp.loss_and_gradients(x, y)
+    eps = 1e-3
+    for name in ("fc1.weight", "fc3.bias"):
+        param = mlp.params[name]
+        flat_index = 3 % param.size
+        idx = np.unravel_index(flat_index, param.shape)
+        original = param[idx]
+        param[idx] = original + eps
+        loss_plus, _ = mlp.loss_and_gradients(x, y)
+        param[idx] = original - eps
+        loss_minus, _ = mlp.loss_and_gradients(x, y)
+        param[idx] = original
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert grads[name][idx] == pytest.approx(numeric, rel=0.05, abs=1e-4)
+
+
+def test_clone_and_load_round_trip():
+    mlp = MLP(num_features=4, num_classes=2, hidden=4, seed=3)
+    snapshot = mlp.clone_params()
+    mlp.apply_update({k: np.ones_like(v) for k, v in mlp.params.items()})
+    assert not np.allclose(mlp.params["fc1.weight"], snapshot["fc1.weight"])
+    mlp.load_params(snapshot)
+    np.testing.assert_array_equal(mlp.params["fc1.weight"], snapshot["fc1.weight"])

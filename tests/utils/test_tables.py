@@ -1,0 +1,30 @@
+"""ASCII table renderer tests."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+def test_render_basic_alignment():
+    out = render_table(["name", "x"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "long-name" in lines[3]
+    # All data rows have the same width.
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_render_with_title():
+    out = render_table(["a"], [[1]], title="My table")
+    assert out.splitlines()[0] == "My table"
+
+
+def test_render_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="columns"):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_empty_rows():
+    out = render_table(["col"], [])
+    assert "col" in out
+    assert len(out.splitlines()) == 2  # header + rule only

@@ -1,0 +1,64 @@
+"""Unit-conversion and formatting tests."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    US,
+    GbpsToBytesPerSec,
+    format_bytes,
+    format_seconds,
+)
+
+
+def test_size_constants_are_binary_powers():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_time_constants():
+    assert US == pytest.approx(1e-6)
+    assert MS == pytest.approx(1e-3)
+
+
+def test_gbps_conversion_100g():
+    # 100 Gbit/s = 12.5e9 bytes/s.
+    assert GbpsToBytesPerSec(100.0) == pytest.approx(12.5e9)
+
+
+def test_gbps_conversion_zero():
+    assert GbpsToBytesPerSec(0.0) == 0.0
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512.0 B"),
+        (2048, "2.0 KB"),
+        (3 * MB, "3.0 MB"),
+        (int(1.5 * GB), "1.5 GB"),
+    ],
+)
+def test_format_bytes(value, expected):
+    assert format_bytes(value) == expected
+
+
+def test_format_bytes_terabytes():
+    assert format_bytes(2 * 1024 * GB) == "2.0 TB"
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (7200.0, "2.0 h"),
+        (2.5, "2.50 s"),
+        (0.0123, "12.3 ms"),
+        (45e-6, "45.0 us"),
+    ],
+)
+def test_format_seconds(value, expected):
+    assert format_seconds(value) == expected

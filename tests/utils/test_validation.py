@@ -1,0 +1,24 @@
+"""Argument-validation helper tests."""
+
+import pytest
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def test_check_positive_passes_through():
+    assert check_positive("x", 3.5) == 3.5
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.001])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", bad)
+
+
+def test_check_non_negative_accepts_zero():
+    assert check_non_negative("y", 0.0) == 0.0
+
+
+def test_check_non_negative_rejects_negative():
+    with pytest.raises(ValueError, match="y must be >= 0"):
+        check_non_negative("y", -1e-9)
