@@ -69,11 +69,16 @@ def brute_force_search(
 def measure_evaluation_seconds(
     evaluator: StrategyEvaluator, samples: int = 20
 ) -> float:
-    """Average seconds of one F(S) evaluation on this job."""
+    """Average seconds of one from-scratch F(S) evaluation on this job.
+
+    Uses the uncached path on purpose: the brute-force extrapolation
+    prices an enumeration of all-distinct strategies, which the memo
+    cache of the fast evaluation layer could never serve.
+    """
     strategy = evaluator.baseline()
     start = time.perf_counter()
     for _ in range(samples):
-        evaluator.iteration_time(strategy)
+        evaluator.iteration_time_uncached(strategy)
     return (time.perf_counter() - start) / samples
 
 

@@ -73,11 +73,43 @@ def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
                         help="system-information JSON (overrides --testbed)")
 
 
+def _print_stats(result) -> None:
+    stats = result.stats
+    print("Fast evaluation layer:")
+    rows = [
+        ("F(S) calls", f"{stats.fs_calls:,}"),
+        ("memo cache hits", f"{stats.cache_hits:,} "
+                            f"({stats.cache_hit_rate:.1%})"),
+        ("full simulations", f"{stats.full_sims:,}"),
+        ("incremental simulations", f"{stats.incremental_sims:,}"),
+        ("base rebuilds", f"{stats.rebases:,}"),
+        ("events simulated", f"{stats.events_full + stats.events_replayed:,}"),
+        ("events reused via prefix", f"{stats.events_reused:,} "
+                                     f"({stats.prefix_reuse_fraction:.1%})"),
+    ]
+    print(render_table(["counter", "value"], rows))
+    print()
+    phases = [
+        ("Algorithm 1 (GPU decision)", result.gpu_selection_seconds),
+        ("Algorithm 2 (CPU offload)", result.offload_selection_seconds),
+        (f"refinement ({result.refinement_sweeps_run} sweeps)",
+         result.refinement_seconds),
+        ("total selection", result.selection_seconds),
+    ]
+    print(render_table(
+        ["phase", "seconds"],
+        [(name, f"{seconds:.3f}") for name, seconds in phases],
+    ))
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     job = _build_job(args)
     result = Espresso(job).select_strategy()
     print(result.summary())
     print()
+    if args.stats:
+        _print_stats(result)
+        print()
     rows = []
     for index in result.compressed_indices:
         tensor = job.model.tensors[index]
@@ -149,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="select a compression strategy")
     _add_job_arguments(plan)
+    plan.add_argument("--stats", action="store_true",
+                      help="report fast-evaluation-layer counters and "
+                           "per-phase selection times")
     plan.set_defaults(func=cmd_plan)
 
     compare = sub.add_parser("compare", help="compare all systems on a job")

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bubbles import DEFAULT_MIN_BUBBLE, tensors_before_bubbles
-from repro.core.options import CompressionOption, Device
+from repro.core.options import CompressionOption, Device, canonical_key
 from repro.core.plan import PlanCompiler
 from repro.core.strategy import CompressionStrategy, StrategyEvaluator
 from repro.core.tree import enumerate_options
@@ -105,10 +105,44 @@ def prefilter_candidates(
         for key in (0, 1):  # by comm time, then by total time
             for entry in sorted(entries, key=lambda e: e[key])[:per_device]:
                 option = entry[2]
-                if id(option) not in seen:
-                    seen.add(id(option))
+                if canonical_key(option) not in seen:
+                    seen.add(canonical_key(option))
                     kept.append(option)
     return kept
+
+
+class CandidatePrefilter:
+    """Planner-owned per-size prefilter cache shared across phases.
+
+    :func:`prefilter_candidates` prices every candidate's standalone
+    stage chain; the result depends only on the tensor *size*, yet each
+    ``gpu_compression_decision`` and every ``refinement_sweep`` call used
+    to rebuild it from scratch.  One instance of this class, created by
+    the :class:`~repro.core.espresso.Espresso` planner and threaded
+    through all phases, computes each size's candidate list exactly once
+    per job.
+    """
+
+    def __init__(
+        self,
+        compiler: PlanCompiler,
+        candidates: Sequence[CompressionOption],
+        per_device: int = 3,
+    ):
+        self.compiler = compiler
+        self.candidates = list(candidates)
+        self.per_device = per_device
+        self._cache: Dict[int, List[CompressionOption]] = {}
+
+    def for_size(self, num_elements: int) -> List[CompressionOption]:
+        """The (cached) surviving candidates for one tensor size."""
+        kept = self._cache.get(num_elements)
+        if kept is None:
+            kept = prefilter_candidates(
+                self.compiler, self.candidates, num_elements, self.per_device
+            )
+            self._cache[num_elements] = kept
+        return kept
 
 
 def sorted_tensor_groups(evaluator: StrategyEvaluator) -> List[List[int]]:
@@ -144,25 +178,24 @@ def gpu_compression_decision(
     candidates: Optional[Sequence[CompressionOption]] = None,
     min_bubble: float = DEFAULT_MIN_BUBBLE,
     prefilter_per_device: int = 3,
+    prefilter: Optional[CandidatePrefilter] = None,
 ) -> GPUDecisionResult:
     """Run Algorithm 1 and return the GPU-compression strategy.
 
     ``prefilter_per_device`` bounds GetBestOption's per-tensor candidate
     set (see :func:`prefilter_candidates`); pass 0 for the exact search.
+    A planner that runs several phases should build one
+    :class:`CandidatePrefilter` and pass it as ``prefilter`` so the
+    per-size filtering work is shared; when omitted, a private one is
+    built from ``candidates``/``prefilter_per_device``.
     """
-    if candidates is None:
-        candidates = gpu_candidate_options()
+    if prefilter is None:
+        if candidates is None:
+            candidates = gpu_candidate_options()
+        prefilter = CandidatePrefilter(
+            evaluator.compiler, candidates, prefilter_per_device
+        )
     evaluations_before = evaluator.evaluations
-    filtered_cache: dict = {}
-
-    def tensor_candidates(num_elements: int) -> Sequence[CompressionOption]:
-        cached = filtered_cache.get(num_elements)
-        if cached is None:
-            cached = prefilter_candidates(
-                evaluator.compiler, candidates, num_elements, prefilter_per_device
-            )
-            filtered_cache[num_elements] = cached
-        return cached
 
     strategy = evaluator.baseline()
     groups = sorted_tensor_groups(evaluator)
@@ -185,13 +218,13 @@ def gpu_compression_decision(
         for index in group:
             if index not in remaining:
                 continue
-            # GetBestOption(): keep-current plus every candidate.
+            # GetBestOption(): keep-current plus every candidate, priced
+            # by delta-simulation against the resident base strategy.
             best_option = strategy[index]
-            for option in tensor_candidates(
+            for option in prefilter.for_size(
                 evaluator.model.tensors[index].num_elements
             ):
-                trial = strategy.replace(index, option)
-                trial_time = evaluator.iteration_time(trial)
+                trial_time = evaluator.iteration_time_delta(strategy, index, option)
                 if trial_time < best_time:
                     best_time = trial_time
                     best_option = option
@@ -212,6 +245,7 @@ def refinement_sweep(
     strategy: CompressionStrategy,
     candidates: Sequence[CompressionOption],
     prefilter_per_device: int = 3,
+    prefilter: Optional[CandidatePrefilter] = None,
 ) -> Tuple[CompressionStrategy, float, bool]:
     """One GetBestOption pass over *all* tensors in the final context.
 
@@ -230,23 +264,22 @@ def refinement_sweep(
     from repro.core.options import no_compression_option
 
     keep_plain = no_compression_option()
+    if prefilter is None:
+        prefilter = CandidatePrefilter(
+            evaluator.compiler, candidates, prefilter_per_device
+        )
     best_time = evaluator.iteration_time(strategy)
     improved = False
-    filtered_cache: dict = {}
     for group in sorted_tensor_groups(evaluator):
         for index in group:
-            num_elements = evaluator.model.tensors[index].num_elements
-            options = filtered_cache.get(num_elements)
-            if options is None:
-                options = prefilter_candidates(
-                    evaluator.compiler, candidates, num_elements, prefilter_per_device
-                )
-                filtered_cache[num_elements] = options
+            options = prefilter.for_size(
+                evaluator.model.tensors[index].num_elements
+            )
             best_option = strategy[index]
             for option in list(options) + [keep_plain]:
                 if option is best_option:
                     continue
-                trial_time = evaluator.iteration_time(strategy.replace(index, option))
+                trial_time = evaluator.iteration_time_delta(strategy, index, option)
                 if trial_time < best_time - 1e-12:
                     best_time = trial_time
                     best_option = option

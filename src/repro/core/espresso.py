@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.config import JobConfig
 from repro.core.algorithm import (
+    CandidatePrefilter,
     GPUDecisionResult,
     device_candidate_options,
     gpu_compression_decision,
@@ -26,7 +27,11 @@ from repro.core.presets import (
     inter_allgather_option,
     inter_alltoall_option,
 )
-from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+from repro.core.strategy import (
+    CompressionStrategy,
+    EvaluatorStats,
+    StrategyEvaluator,
+)
 
 
 @dataclass
@@ -46,6 +51,10 @@ class EspressoResult:
     #: True when a uniform portfolio strategy beat the Algorithm 1+2
     #: result and seeded the refinement sweeps.
     portfolio_seeded: bool = False
+    #: Fast-evaluation-layer instrumentation: F(S) calls, memo hits,
+    #: full vs incremental simulations, event prefix reuse.  Snapshot
+    #: taken when selection finished (``plan --stats`` renders it).
+    stats: Optional[EvaluatorStats] = None
 
     @property
     def speedup_over_fp32(self) -> float:
@@ -89,6 +98,7 @@ class Espresso:
         prefilter_per_device: int = 3,
         refinement_sweeps: int = 6,
         min_sweep_improvement: float = 0.003,
+        fast_eval: bool = True,
     ):
         """Args:
         job: the three-config training job (model, GC, system).
@@ -106,9 +116,13 @@ class Espresso:
             improving sweep is followed by another offload pass.
         min_sweep_improvement: stop sweeping early once a sweep improves
             the iteration time by less than this relative fraction.
+        fast_eval: enable the evaluator's fast evaluation layer (memo
+            cache + incremental delta-simulation, DESIGN.md §5.2).  The
+            selected strategy and iteration time are identical either
+            way; disabling it exists for benchmarking the layer itself.
         """
         self.job = job
-        self.evaluator = StrategyEvaluator(job)
+        self.evaluator = StrategyEvaluator(job, fast=fast_eval)
         # The uniform-strategy portfolio uses the preset pipelines, which
         # only makes sense for the full default search space; a caller
         # restricting the candidates gets exactly that restriction.
@@ -120,6 +134,12 @@ class Espresso:
         )
         self.max_offload_evaluations = max_offload_evaluations
         self.prefilter_per_device = prefilter_per_device
+        # One prefilter for all phases: Algorithm 1 and every refinement
+        # sweep share the per-size candidate lists instead of rebuilding
+        # them from scratch each call.
+        self.prefilter = CandidatePrefilter(
+            self.evaluator.compiler, self.candidates, prefilter_per_device
+        )
         self.refinement_sweeps = refinement_sweeps
         self.min_sweep_improvement = min_sweep_improvement
 
@@ -132,6 +152,7 @@ class Espresso:
             self.evaluator,
             candidates=self.candidates,
             prefilter_per_device=self.prefilter_per_device,
+            prefilter=self.prefilter,
         )
         gpu_seconds = time.perf_counter() - start
 
@@ -177,6 +198,7 @@ class Espresso:
                 strategy,
                 self.candidates,
                 prefilter_per_device=self.prefilter_per_device,
+                prefilter=self.prefilter,
             )
             sweeps_run += 1
             if not improved:
@@ -208,4 +230,5 @@ class Espresso:
             refinement_seconds=refinement_seconds,
             refinement_sweeps_run=sweeps_run,
             portfolio_seeded=portfolio_seeded,
+            stats=self.evaluator.stats.snapshot(),
         )

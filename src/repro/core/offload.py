@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.options import CompressionOption, Device
+from repro.core.options import CompressionOption, Device, canonical_key
 from repro.core.strategy import CompressionStrategy, StrategyEvaluator
 
 
@@ -49,7 +49,10 @@ def offload_groups(
     for index, option in enumerate(strategy.options):
         if not option.compresses or not option.uses_device(Device.GPU):
             continue
-        key = (model.tensors[index].num_elements, id(option))
+        # Group by option *value* (canonical key), not object identity:
+        # two tensors assigned equal options belong to the same G_i even
+        # when the option objects were built separately.
+        key = (model.tensors[index].num_elements, canonical_key(option))
         by_key.setdefault(key, []).append(index)
         options[key] = option
     groups = []
@@ -109,6 +112,20 @@ def _combination_count(groups: Sequence[OffloadGroup]) -> int:
     return total
 
 
+def _count_replacements(
+    groups: Sequence[OffloadGroup],
+    counts: Sequence[int],
+    cpu_options: Sequence[CompressionOption],
+) -> List[Tuple[int, CompressionOption]]:
+    """The per-tensor (index, CPU option) replacements a count vector
+    implies — the delta-evaluation form of :func:`apply_offload_counts`."""
+    return [
+        (index, cpu_option)
+        for group, count, cpu_option in zip(groups, counts, cpu_options)
+        for index in group.members[:count]
+    ]
+
+
 def cpu_offload_decision(
     evaluator: StrategyEvaluator,
     strategy: CompressionStrategy,
@@ -131,19 +148,21 @@ def cpu_offload_decision(
 
     best_counts = (0,) * len(groups)
     best_time = base_time
+    cpu_options = [group.option.with_device(Device.CPU) for group in groups]
     exhaustive = combinations <= max_evaluations
     if exhaustive:
         for counts in itertools.product(*(range(len(g) + 1) for g in groups)):
             if not any(counts):
                 continue  # base case already evaluated
-            trial = apply_offload_counts(strategy, groups, counts)
-            trial_time = evaluator.iteration_time(trial)
+            trial_time = evaluator.iteration_time_multi(
+                strategy, _count_replacements(groups, counts, cpu_options)
+            )
             if trial_time < best_time:
                 best_time = trial_time
                 best_counts = counts
     else:
         best_counts, best_time = _coordinate_descent(
-            evaluator, strategy, groups, best_time
+            evaluator, strategy, groups, cpu_options, best_time
         )
 
     best = apply_offload_counts(strategy, groups, best_counts)
@@ -162,6 +181,7 @@ def _coordinate_descent(
     evaluator: StrategyEvaluator,
     strategy: CompressionStrategy,
     groups: Sequence[OffloadGroup],
+    cpu_options: Sequence[CompressionOption],
     base_time: float,
     max_sweeps: int = 4,
 ) -> Tuple[Tuple[int, ...], float]:
@@ -177,8 +197,10 @@ def _coordinate_descent(
                     continue
                 trial_counts = list(counts)
                 trial_counts[g] = c
-                trial = apply_offload_counts(strategy, groups, trial_counts)
-                trial_time = evaluator.iteration_time(trial)
+                trial_time = evaluator.iteration_time_multi(
+                    strategy,
+                    _count_replacements(groups, trial_counts, cpu_options),
+                )
                 if trial_time < best_time:
                     best_time = trial_time
                     best_c = c

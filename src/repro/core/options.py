@@ -191,6 +191,40 @@ class CompressionOption:
         return len(self.actions)
 
 
+#: Value-interning registry behind :func:`canonical_key`.  Options are
+#: small frozen dataclasses; keeping every distinct *value* alive forever
+#: is bounded by the search-space size and guarantees keys are never
+#: recycled the way ``id()`` is after garbage collection.
+_CANONICAL_KEYS: dict = {}
+
+
+def canonical_key(option: CompressionOption) -> int:
+    """A stable small-int key for an option's *value*.
+
+    Two options that compare equal (same actions, same flat bit) map to
+    the same key, no matter when or where they were constructed; distinct
+    values always map to distinct keys.  Every cache in the planner keys
+    on this instead of ``id(option)``: a GC'd trial option's reused
+    ``id()`` could alias a stale cache entry, and value-equal duplicates
+    (e.g. two ``no_compression_option()`` calls) would miss each other.
+    Strategy fingerprints (tuples of these keys) are what the F(S) memo
+    cache hashes.
+
+    The key is memoized on the option object itself (value hashing walks
+    the whole action tuple — far too slow for the planner's hot loop,
+    which computes millions of keys); the object-level memo cannot alias
+    because it dies with the object.
+    """
+    key = option.__dict__.get("_canonical_key")
+    if key is None:
+        key = _CANONICAL_KEYS.get(option)
+        if key is None:
+            key = len(_CANONICAL_KEYS)
+            _CANONICAL_KEYS[option] = key
+        object.__setattr__(option, "_canonical_key", key)
+    return key
+
+
 def no_compression_option(flat: bool = False) -> CompressionOption:
     """The canonical FP32 option: hierarchical RS / Allreduce / AG.
 

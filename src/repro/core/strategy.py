@@ -5,20 +5,38 @@ tensor of a model (S = {c_j} in §4.2.2).  The :class:`StrategyEvaluator`
 derives the full iteration timeline of a strategy with the empirical
 models — computing F(S), the iteration time — which is the primitive the
 decision algorithm minimizes.
+
+The evaluator owns a *fast evaluation layer* (DESIGN.md §5.2): F(S)
+results are memoized under a canonical strategy fingerprint, and
+candidates that differ from a resident base strategy in one or a few
+tensors are priced by :class:`~repro.sim.incremental.IncrementalSimulator`
+— a delta-simulation that reuses the deterministic event prefix of the
+base run instead of replaying from t=0.  Both are exact: results are
+bit-identical to the full simulation, only cheaper.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
-from repro.core.options import CompressionOption, Device, no_compression_option
+from repro.core.options import (
+    CompressionOption,
+    Device,
+    canonical_key,
+    no_compression_option,
+)
 from repro.core.plan import PlanCompiler
 from repro.sim.engine import Timeline, simulate, simulate_makespan
+from repro.sim.incremental import IncrementalSimulator
 from repro.sim.metrics import scaling_factor as _scaling_factor
 from repro.sim.metrics import throughput as _throughput
-from repro.sim.stages import TensorChain, compute_stage
+from repro.sim.stages import RESOURCES, TensorChain, compute_stage
+
+#: Resource-name -> index mapping in the simulator's RESOURCES order,
+#: used to pre-flatten chains for IncrementalSimulator.swap_chains_flat.
+_RES_INDEX = {name: i for i, name in enumerate(RESOURCES)}
 
 
 @dataclass(frozen=True)
@@ -41,7 +59,19 @@ class CompressionStrategy:
         """A copy with tensor ``index`` assigned ``option``."""
         options = list(self.options)
         options[index] = option
-        return CompressionStrategy(options=tuple(options))
+        child = CompressionStrategy(options=tuple(options))
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is not None:
+            # Derive the child's fingerprint from ours instead of making
+            # it re-hash every option later.
+            object.__setattr__(
+                child,
+                "_fingerprint",
+                fingerprint[:index]
+                + (canonical_key(option),)
+                + fingerprint[index + 1 :],
+            )
+        return child
 
     @property
     def compressed_indices(self) -> List[int]:
@@ -56,6 +86,21 @@ class CompressionStrategy:
             if option.compresses and option.uses_device(device)
         ]
 
+    def fingerprint(self) -> Tuple[int, ...]:
+        """Canonical per-tensor option keys — the F(S) memo-cache key.
+
+        Built from :func:`~repro.core.options.canonical_key`, so two
+        strategies that assign value-equal options to every tensor share
+        a fingerprint even when the option *objects* differ.  Cached on
+        the (frozen) instance: the planner requests it on every F(S)
+        evaluation.
+        """
+        fingerprint = self.__dict__.get("_fingerprint")
+        if fingerprint is None:
+            fingerprint = tuple(canonical_key(option) for option in self.options)
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
+
     def describe(self) -> str:
         """Multi-line human-readable dump of all per-tensor decisions."""
         return "\n".join(
@@ -69,15 +114,66 @@ def baseline_strategy(num_tensors: int, flat: bool = False) -> CompressionStrate
     return CompressionStrategy(options=(option,) * num_tensors)
 
 
+@dataclass
+class EvaluatorStats:
+    """Fast-evaluation-layer instrumentation (reported by ``plan --stats``).
+
+    Attributes:
+        fs_calls: F(S) requests, however they were answered.
+        cache_hits: requests answered from the fingerprint memo cache.
+        full_sims: from-scratch simulations (includes rebases).
+        incremental_sims: delta-simulations via chain swaps.
+        rebases: incremental-simulator base rebuilds.
+        timelines: full timeline simulations (stage records materialized).
+        events_full: completion events processed by full/base simulations.
+        events_replayed: completion events processed during swap replays.
+        events_reused: completion events skipped via checkpoint restore.
+    """
+
+    fs_calls: int = 0
+    cache_hits: int = 0
+    full_sims: int = 0
+    incremental_sims: int = 0
+    rebases: int = 0
+    timelines: int = 0
+    events_full: int = 0
+    events_replayed: int = 0
+    events_reused: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of F(S) requests answered without any simulation."""
+        return self.cache_hits / self.fs_calls if self.fs_calls else 0.0
+
+    @property
+    def prefix_reuse_fraction(self) -> float:
+        """Of the events a naive replay would simulate during swaps, the
+        fraction skipped by resuming from a checkpoint."""
+        denominator = self.events_replayed + self.events_reused
+        return self.events_reused / denominator if denominator else 0.0
+
+    def snapshot(self) -> "EvaluatorStats":
+        """An independent copy (results keep a frozen-in-time view)."""
+        return replace(self)
+
+
 class StrategyEvaluator:
     """Derives timelines and F(S) for strategies of one training job.
 
     One evaluator is bound to one :class:`~repro.config.JobConfig`; it
     owns the plan compiler (and its option/size stage cache) so repeated
     evaluations during the decision algorithm stay fast.
+
+    Args:
+        job: the training job to evaluate strategies for.
+        fast: enable the fast evaluation layer (memo cache + incremental
+            delta-simulation).  ``False`` forces every F(S) request
+            through a from-scratch simulation; results are bit-identical
+            either way (the regression tests assert it), so the flag
+            exists for benchmarking and for the equivalence tests.
     """
 
-    def __init__(self, job: JobConfig):
+    def __init__(self, job: JobConfig, fast: bool = True):
         self.job = job
         self.model = job.model
         self.cluster = job.system.cluster
@@ -89,47 +185,253 @@ class StrategyEvaluator:
             cpu=job.system.cpu,
         )
         self._cpu_capacity = job.system.cpu.parallel_workers
-        self._chain_cache: dict = {}
+        self._chain_cache: Dict[Tuple[int, int], TensorChain] = {}
+        self._flat_cache: Dict[Tuple[int, int], Tuple[List[int], List[float]]] = {}
+        self.fast = fast
         self.evaluations = 0  # F(S) computations, reported in Table 5
+        self.stats = EvaluatorStats()
+        #: Memoized makespans keyed by strategy fingerprint.
+        self._memo: Dict[Tuple[int, ...], float] = {}
+        self._inc: Optional[IncrementalSimulator] = None
+        self._inc_fp: Optional[Tuple[int, ...]] = None
+
+    # -- chain construction ---------------------------------------------
+
+    def _chain(self, index: int, option: CompressionOption) -> TensorChain:
+        """The stage chain of tensor ``index`` under ``option``, cached
+        per (canonical option key, tensor) pair.
+
+        Keying on the canonical *value* key (not ``id(option)``) means a
+        garbage-collected trial option whose ``id()`` gets recycled can
+        never alias a stale chain.
+        """
+        key = (canonical_key(option), index)
+        chain = self._chain_cache.get(key)
+        if chain is None:
+            tensor = self.model.tensors[index]
+            chain = TensorChain(
+                tensor_index=index,
+                stages=[
+                    compute_stage(tensor.compute_time),
+                    *self.compiler.stages(option, tensor.num_elements),
+                ],
+            )
+            self._chain_cache[key] = chain
+        return chain
+
+    def _flat_chain(
+        self, index: int, option: CompressionOption
+    ) -> Tuple[List[int], List[float]]:
+        """Tensor ``index``'s chain under ``option`` as parallel
+        (resource index, duration) lists — the form
+        :meth:`IncrementalSimulator.swap_chains_flat` consumes without
+        touching Stage objects in the hot loop."""
+        key = (canonical_key(option), index)
+        entry = self._flat_cache.get(key)
+        if entry is None:
+            stages = self._chain(index, option).stages
+            entry = (
+                [_RES_INDEX[s.resource] for s in stages],
+                [s.duration for s in stages],
+            )
+            self._flat_cache[key] = entry
+        return entry
 
     def _chains(self, strategy: CompressionStrategy) -> List[TensorChain]:
-        """Per-tensor stage chains, cached per (option, tensor) pair."""
+        """Per-tensor stage chains for a whole strategy."""
         if len(strategy) != self.model.num_tensors:
             raise ValueError(
                 f"strategy covers {len(strategy)} tensors, "
                 f"model has {self.model.num_tensors}"
             )
-        chains = []
-        cache = self._chain_cache
-        for index, (option, tensor) in enumerate(
-            zip(strategy.options, self.model.tensors)
-        ):
-            key = (id(option), index)
-            chain = cache.get(key)
-            if chain is None:
-                chain = TensorChain(
-                    tensor_index=index,
-                    stages=[
-                        compute_stage(tensor.compute_time),
-                        *self.compiler.stages(option, tensor.num_elements),
-                    ],
-                )
-                cache[key] = chain
-            chains.append(chain)
-        return chains
+        return [
+            self._chain(index, option)
+            for index, option in enumerate(strategy.options)
+        ]
+
+    # -- fast evaluation layer ------------------------------------------
+
+    def _rebase(self, fingerprint: Tuple[int, ...], strategy: CompressionStrategy) -> None:
+        """Make ``strategy`` the resident base of the incremental engine."""
+        self.stats.rebases += 1
+        self.stats.full_sims += 1
+        self._inc = IncrementalSimulator(
+            self._chains(strategy),
+            cpu_capacity=self._cpu_capacity,
+            stats=self.stats,
+        )
+        self._inc_fp = fingerprint
+        self._memo[fingerprint] = self._inc.base_makespan
+
+    def _fast_makespan(
+        self, fingerprint: Tuple[int, ...], strategy: CompressionStrategy
+    ) -> float:
+        """Makespan via the resident incremental base (rebasing if none)."""
+        if self._inc is None:
+            self._rebase(fingerprint, strategy)
+            return self._inc.base_makespan
+        base_fp = self._inc_fp
+        replacements = [
+            (i, *self._flat_chain(i, strategy.options[i]))
+            for i in range(len(fingerprint))
+            if fingerprint[i] != base_fp[i]
+        ]
+        if not replacements:
+            return self._inc.base_makespan
+        self.stats.incremental_sims += 1
+        return self._inc.swap_chains_flat(replacements)
+
+    def _ensure_base(
+        self, fingerprint: Tuple[int, ...], strategy: CompressionStrategy
+    ) -> None:
+        if self._inc is None or self._inc_fp != fingerprint:
+            self._rebase(fingerprint, strategy)
+
+    def _delta_makespan(
+        self,
+        base: CompressionStrategy,
+        base_fp: Tuple[int, ...],
+        replacements: Sequence[Tuple[int, CompressionOption]],
+    ) -> float:
+        """Makespan of ``base`` with ``replacements`` applied, memoized."""
+        self._ensure_base(base_fp, base)
+        if len(replacements) == 1:
+            # GetBestOption/sweep hot path: one replaced tensor.
+            index, option = replacements[0]
+            key = canonical_key(option)
+            if base_fp[index] == key:
+                self.stats.cache_hits += 1
+                return self._inc.base_makespan
+            changed = [(index, option)]
+            trial_fp = base_fp[:index] + (key,) + base_fp[index + 1 :]
+        else:
+            trial_list = list(base_fp)
+            changed = []
+            for index, option in replacements:
+                key = canonical_key(option)
+                if trial_list[index] != key:
+                    trial_list[index] = key
+                    changed.append((index, option))
+            if not changed:
+                self.stats.cache_hits += 1
+                return self._inc.base_makespan
+            trial_fp = tuple(trial_list)
+        makespan = self._memo.get(trial_fp)
+        if makespan is not None:
+            self.stats.cache_hits += 1
+            return makespan
+        self.stats.incremental_sims += 1
+        makespan = self._inc.swap_chains_flat(
+            [(index, *self._flat_chain(index, option)) for index, option in changed]
+        )
+        self._memo[trial_fp] = makespan
+        return makespan
+
+    # -- public API ------------------------------------------------------
 
     def timeline(self, strategy: CompressionStrategy) -> Timeline:
-        """Simulate the full iteration timeline of ``strategy``."""
+        """Simulate the full iteration timeline of ``strategy``.
+
+        With the fast layer on, ``strategy`` becomes (or already is) the
+        incremental engine's resident base and the records are rebuilt
+        from its arrays — Algorithm 1's Remove() asks for the timeline
+        of exactly the strategy the following delta evaluations use, so
+        the rebase is work the planner was about to do anyway.
+        """
         self.evaluations += 1
+        self.stats.timelines += 1
+        if self.fast:
+            self._ensure_base(strategy.fingerprint(), strategy)
+            return self._inc.base_timeline()
         return simulate(self._chains(strategy), cpu_capacity=self._cpu_capacity)
 
     def iteration_time(self, strategy: CompressionStrategy) -> float:
         """F(S): the iteration wall-clock time under ``strategy``.
 
         Uses the makespan-only fast path — the decision algorithm calls
-        this thousands of times and never needs the stage records.
+        this thousands of times and never needs the stage records.  With
+        the fast layer enabled the result is memoized by fingerprint and,
+        when a resident base exists, computed by delta-simulation.
         """
         self.evaluations += 1
+        self.stats.fs_calls += 1
+        if not self.fast:
+            self.stats.full_sims += 1
+            makespan = simulate_makespan(
+                self._chains(strategy), cpu_capacity=self._cpu_capacity
+            )
+            return self.model.forward_time + makespan
+        fingerprint = strategy.fingerprint()
+        makespan = self._memo.get(fingerprint)
+        if makespan is not None:
+            self.stats.cache_hits += 1
+        else:
+            makespan = self._fast_makespan(fingerprint, strategy)
+            self._memo[fingerprint] = makespan
+        return self.model.forward_time + makespan
+
+    def iteration_time_delta(
+        self, base: CompressionStrategy, index: int, option: CompressionOption
+    ) -> float:
+        """F(S) of ``base`` with tensor ``index`` assigned ``option``.
+
+        Equivalent to ``iteration_time(base.replace(index, option))`` but
+        avoids building the trial strategy and reuses the simulation
+        prefix of ``base`` (which becomes the resident incremental base).
+        This is the hot path of GetBestOption and the refinement sweeps.
+        """
+        self.evaluations += 1
+        self.stats.fs_calls += 1
+        if not self.fast:
+            self.stats.full_sims += 1
+            makespan = simulate_makespan(
+                self._chains(base.replace(index, option)),
+                cpu_capacity=self._cpu_capacity,
+            )
+            return self.model.forward_time + makespan
+        makespan = self._delta_makespan(
+            base, base.fingerprint(), ((index, option),)
+        )
+        return self.model.forward_time + makespan
+
+    def iteration_time_multi(
+        self,
+        base: CompressionStrategy,
+        replacements: Sequence[Tuple[int, CompressionOption]],
+    ) -> float:
+        """F(S) of ``base`` with several tensors replaced at once.
+
+        The multi-tensor analogue of :meth:`iteration_time_delta`, used
+        by Algorithm 2's offload enumeration (each trial moves whole
+        group prefixes to the CPU).  Prefix reuse is bounded by the
+        earliest replaced tensor, but the flatten work and the memo
+        cache are still shared.
+        """
+        self.evaluations += 1
+        self.stats.fs_calls += 1
+        if not self.fast:
+            options = list(base.options)
+            for index, option in replacements:
+                options[index] = option
+            self.stats.full_sims += 1
+            makespan = simulate_makespan(
+                self._chains(CompressionStrategy(options=tuple(options))),
+                cpu_capacity=self._cpu_capacity,
+            )
+            return self.model.forward_time + makespan
+        makespan = self._delta_makespan(base, base.fingerprint(), replacements)
+        return self.model.forward_time + makespan
+
+    def iteration_time_uncached(self, strategy: CompressionStrategy) -> float:
+        """F(S) via an unconditional from-scratch simulation.
+
+        Bypasses the memo cache and the incremental engine; used when
+        the *cost* of one evaluation is the measurement (Table 5's
+        brute-force extrapolation).
+        """
+        self.evaluations += 1
+        self.stats.fs_calls += 1
+        self.stats.full_sims += 1
         makespan = simulate_makespan(
             self._chains(strategy), cpu_capacity=self._cpu_capacity
         )
