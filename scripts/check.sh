@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full correctness gate: tier-1 tests, the slow differential-oracle
+# sweeps, and the simulator conformance battery over the model zoo on
+# both testbeds.  Run from the repository root:
+#
+#   bash scripts/check.sh
+#
+# CI should treat any non-zero exit as a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== slow suite (O(n^2) oracle sweeps over the zoo) =="
+python -m pytest -q -m slow
+
+echo
+echo "== simulator conformance: zoo x uniform suite x testbeds =="
+for model in vgg16 resnet101 ugatit bert-base gpt2 lstm; do
+    for testbed in nvlink pcie; do
+        echo "-- ${model} / ${testbed}"
+        python -m repro validate --model "$model" --testbed "$testbed" \
+            --machines 2 --gpus 4
+    done
+done
+
+echo
+echo "== planner conformance: plan --check over the zoo =="
+for model in vgg16 resnet101 ugatit bert-base gpt2 lstm; do
+    echo "-- ${model}"
+    python -m repro plan --model "$model" --gc dgc --ratio 0.01 \
+        --machines 2 --gpus 4 --check | grep "conformance:"
+done
+
+echo
+echo "All checks passed."

@@ -31,8 +31,16 @@ from repro.config import (
     load_model,
 )
 from repro.core import Espresso
+from repro.core.conformance import (
+    conformance_strategies,
+    validate_job,
+    validate_strategy,
+)
 from repro.core.options import Device
+from repro.core.strategy import StrategyEvaluator
 from repro.core.tree import search_space_size
+from repro.sim.trace import write_chrome_trace
+from repro.sim.validate import ConformanceError
 from repro.models import available_models, get_model
 from repro.utils import format_bytes, render_table
 
@@ -104,9 +112,33 @@ def _print_stats(result) -> None:
 
 def cmd_plan(args: argparse.Namespace) -> int:
     job = _build_job(args)
-    result = Espresso(job).select_strategy()
+    planner = Espresso(job, check=args.check)
+    try:
+        result = planner.select_strategy()
+    except ConformanceError as error:
+        print(f"CONFORMANCE FAILURE during planning:\n{error}")
+        return 1
     print(result.summary())
     print()
+    if args.check:
+        # Every timeline the planner materialized was checked in-line;
+        # finish by auditing the *selected* strategy end to end
+        # (invariants + oracle + incremental exactness).
+        report = validate_strategy(
+            planner.evaluator, result.strategy, name="selected"
+        )
+        checked = planner.evaluator.timelines_checked + 1
+        if not report.ok:
+            print(f"conformance: FAILED on the selected strategy")
+            for violation in report.violations:
+                print(f"  {violation}")
+            if not report.oracle_exact:
+                print("  [oracle] engine timeline != reference simulation")
+            if not report.incremental_exact:
+                print("  [incremental] delta-simulator != engine timeline")
+            return 1
+        print(f"conformance: {checked} timelines checked, 0 violations")
+        print()
     if args.stats:
         _print_stats(result)
         print()
@@ -133,8 +165,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     systems = list(ALL_SYSTEMS)
     if args.upper_bound:
         systems.append(UpperBound)
+    checker = StrategyEvaluator(job, check=True) if args.check else None
+    checked = 0
     for system_cls in systems:
         result = system_cls().run(job)
+        if checker is not None:
+            try:
+                checker.timeline(result.strategy)
+            except ConformanceError as error:
+                print(f"CONFORMANCE FAILURE on {result.name}:\n{error}")
+                return 1
+            checked += 1
         rows.append(
             (
                 result.name,
@@ -145,6 +186,64 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(render_table(["system", "throughput", "scaling factor"], rows,
                        title=f"{job.model.name} + {job.gc.algorithm}, "
                              f"{job.system.cluster.total_gpus} GPUs"))
+    if checker is not None:
+        print(f"conformance: {checked} system timelines checked, 0 violations")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    job = _build_job(args)
+    evaluator = StrategyEvaluator(job)
+    oracle = not args.skip_oracle
+    if args.strategy == "espresso":
+        selected = Espresso(job).select_strategy().strategy
+        reports = [
+            validate_strategy(evaluator, selected, name="espresso", oracle=oracle)
+        ]
+    elif args.strategy == "all":
+        reports = validate_job(job, oracle=oracle)
+    else:
+        suite = dict(conformance_strategies(job.model.num_tensors))
+        reports = [
+            validate_strategy(
+                evaluator, suite[args.strategy], name=args.strategy, oracle=oracle
+            )
+        ]
+
+    rows = []
+    failures = 0
+    for report in reports:
+        if not report.ok:
+            failures += 1
+        rows.append(
+            (
+                report.name,
+                f"{report.num_stages}",
+                f"{report.makespan * 1e3:.2f} ms",
+                "ok" if not report.violations else f"{len(report.violations)} violations",
+                ("exact" if report.oracle_exact else "MISMATCH") if oracle else "skipped",
+                "exact" if report.incremental_exact else "MISMATCH",
+            )
+        )
+    print(render_table(
+        ["strategy", "stages", "makespan", "invariants", "oracle", "incremental"],
+        rows,
+        title=f"Simulator conformance: {job.model.name} on "
+              f"{job.system.cluster.total_gpus} GPUs "
+              f"({job.system.cluster.interconnect})",
+    ))
+    for report in reports:
+        for violation in report.violations:
+            print(f"  {report.name}: {violation}")
+    if args.trace:
+        write_chrome_trace(reports[-1].timeline, args.trace)
+        print(f"Chrome trace of {reports[-1].name!r} written to {args.trace} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if failures:
+        print(f"FAILED: {failures}/{len(reports)} strategies non-conformant")
+        return 1
+    print(f"All {len(reports)} strategies conformant "
+          f"(invariants, oracle, incremental all exact).")
     return 0
 
 
@@ -184,13 +283,39 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--stats", action="store_true",
                       help="report fast-evaluation-layer counters and "
                            "per-phase selection times")
+    plan.add_argument("--check", action="store_true",
+                      help="run the simulator conformance invariant checker "
+                           "on every timeline the planner materializes")
     plan.set_defaults(func=cmd_plan)
 
     compare = sub.add_parser("compare", help="compare all systems on a job")
     _add_job_arguments(compare)
     compare.add_argument("--upper-bound", action="store_true",
                          help="also compute the free-compression bound")
+    compare.add_argument("--check", action="store_true",
+                         help="run the invariant checker on every system's "
+                              "selected-strategy timeline")
     compare.set_defaults(func=cmd_compare)
+
+    validate = sub.add_parser(
+        "validate",
+        help="conformance-check the simulator: invariants + differential "
+             "oracle + incremental exactness",
+    )
+    _add_job_arguments(validate)
+    validate.add_argument(
+        "--strategy", default="all",
+        choices=("all", "espresso", "baseline", "baseline-flat",
+                 "allgather-gpu", "allgather-cpu", "alltoall-gpu",
+                 "alltoall-cpu", "double-gpu", "double-cpu"),
+        help="which strategy to audit (default: the whole uniform suite)")
+    validate.add_argument(
+        "--skip-oracle", action="store_true",
+        help="skip the O(n^2) reference-simulator comparison")
+    validate.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a chrome://tracing JSON of the last audited timeline")
+    validate.set_defaults(func=cmd_validate)
 
     models = sub.add_parser("models", help="list the benchmark models")
     models.set_defaults(func=cmd_models)

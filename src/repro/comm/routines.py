@@ -31,7 +31,7 @@ import enum
 import math
 from dataclasses import dataclass
 
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_finite, check_non_negative, check_positive
 
 
 class Routine(enum.Enum):
@@ -65,7 +65,9 @@ class LinkParams:
             raise ValueError(
                 f"participants must be >= 1, got {self.participants}"
             )
+        check_finite("bandwidth", self.bandwidth)
         check_positive("bandwidth", self.bandwidth)
+        check_finite("latency", self.latency)
         check_non_negative("latency", self.latency)
 
 
@@ -75,8 +77,16 @@ def routine_time(routine: Routine, nbytes: float, link: LinkParams) -> float:
     ``nbytes`` is the per-participant input payload (see module docstring
     for per-routine semantics).  Returns 0 for single-participant links.
     """
+    check_finite("nbytes", nbytes)
     check_non_negative("nbytes", nbytes)
     p = link.participants
+    # Degenerate cases return exactly 0.0 *before* any per-routine
+    # arithmetic: a single participant has nobody to talk to (the ring
+    # terms would charge 0*alpha and the binomial trees ceil(log2 1) = 0
+    # rounds — both happen to agree today, but only by accident of the
+    # current formulas), and an empty payload costs neither latency nor
+    # bandwidth.  An explicit early-return keeps every present and
+    # future routine exact at the boundary.
     if p == 1 or nbytes == 0:
         return 0.0
     alpha = link.latency

@@ -18,6 +18,12 @@ from repro.core.bubbles import (
     communication_bubbles,
     tensors_before_bubbles,
 )
+from repro.core.conformance import (
+    StrategyConformance,
+    conformance_strategies,
+    validate_job,
+    validate_strategy,
+)
 from repro.core.espresso import Espresso, EspressoResult
 from repro.core.offload import (
     OffloadGroup,
@@ -86,4 +92,8 @@ __all__ = [
     "upper_bound_evaluator",
     "upper_bound_iteration_time",
     "upper_bound_throughput",
+    "StrategyConformance",
+    "conformance_strategies",
+    "validate_job",
+    "validate_strategy",
 ]

@@ -57,13 +57,17 @@ def communication_bubbles(
     for resource in (INTRA, INTER):
         stages = _stages_on(timeline, resource)
         gaps: List[Tuple[float, float]] = []
-        cursor = None
+        # The link is idle from t=0 (backprop start) until its first
+        # stage: a leading readiness gap is as real a bubble as one
+        # between two stages — the link waits for the first gradient —
+        # so the cursor starts at 0, not at the first stage's end.
+        cursor = 0.0
         for stage in stages:
-            if cursor is not None and stage.start - cursor >= min_bubble:
+            if stage.start - cursor >= min_bubble:
                 key = (stage.tensor_index, stage.resource)
                 if first_on_link[key] == stage.stage_index:
                     gaps.append((cursor, stage.start))
-            cursor = stage.end if cursor is None else max(cursor, stage.end)
+            cursor = max(cursor, stage.end)
         if gaps:
             bubbles[resource] = gaps
     return bubbles

@@ -1,0 +1,144 @@
+"""Job-level conformance runs: invariants + differential oracle.
+
+This is the driver behind ``python -m repro validate``: for a training
+job and a set of strategies it simulates each strategy three independent
+ways — the optimized engine (:func:`repro.sim.engine.simulate`), the
+naive O(n²) reference oracle (:func:`repro.sim.oracle.
+simulate_reference`), and the incremental delta-simulator's resident
+base (:class:`repro.sim.incremental.IncrementalSimulator`) — checks the
+engine timeline against the scheduler invariants
+(:mod:`repro.sim.validate`), audits every distinct option's payload
+algebra, and reports exact-equality mismatches between the three
+simulators.  Zero violations and zero mismatches is the conformance
+bar every future perf refactor of ``sim/`` must clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import JobConfig
+from repro.core.options import Device, canonical_key
+from repro.core.presets import (
+    double_compression_option,
+    inter_allgather_option,
+    inter_alltoall_option,
+)
+from repro.core.strategy import (
+    CompressionStrategy,
+    StrategyEvaluator,
+    baseline_strategy,
+)
+from repro.sim.engine import Timeline, simulate
+from repro.sim.incremental import IncrementalSimulator
+from repro.sim.oracle import simulate_reference
+from repro.sim.validate import Violation, check_option_conservation, check_timeline
+
+
+@dataclass(frozen=True)
+class StrategyConformance:
+    """Conformance outcome for one strategy on one job."""
+
+    name: str
+    makespan: float
+    num_stages: int
+    violations: Tuple[Violation, ...]
+    oracle_exact: bool
+    incremental_exact: bool
+    timeline: Timeline
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.oracle_exact and self.incremental_exact
+
+
+#: Uniform strategy builders exercised by the default conformance suite:
+#: the FP32 baselines plus the six uniform preset pipelines (the
+#: portfolio strategies the planner itself evaluates).
+def conformance_strategies(
+    num_tensors: int,
+) -> List[Tuple[str, CompressionStrategy]]:
+    """The default (name, strategy) suite for a ``num_tensors`` model."""
+    suite: List[Tuple[str, CompressionStrategy]] = [
+        ("baseline", baseline_strategy(num_tensors)),
+        ("baseline-flat", baseline_strategy(num_tensors, flat=True)),
+    ]
+    builders = (
+        ("allgather", inter_allgather_option),
+        ("alltoall", inter_alltoall_option),
+        ("double", double_compression_option),
+    )
+    for label, builder in builders:
+        for device in (Device.GPU, Device.CPU):
+            suite.append(
+                (
+                    f"{label}-{device.value}",
+                    CompressionStrategy(options=(builder(device),) * num_tensors),
+                )
+            )
+    return suite
+
+
+def validate_strategy(
+    evaluator: StrategyEvaluator,
+    strategy: CompressionStrategy,
+    name: str = "strategy",
+    oracle: bool = True,
+) -> StrategyConformance:
+    """Run the full conformance battery on one strategy."""
+    chains = evaluator.chains(strategy)
+    cpu_capacity = evaluator.job.system.cpu.parallel_workers
+    timeline = simulate(chains, cpu_capacity=cpu_capacity)
+
+    violations = check_timeline(
+        timeline, chains=chains, cpu_capacity=cpu_capacity
+    )
+    seen_options = set()
+    for index, option in enumerate(strategy.options):
+        key = (canonical_key(option), evaluator.model.tensors[index].num_elements)
+        if key in seen_options:
+            continue
+        seen_options.add(key)
+        violations.extend(
+            check_option_conservation(
+                option, evaluator.model.tensors[index].num_elements,
+                evaluator.cluster,
+            )
+        )
+
+    oracle_exact = True
+    if oracle:
+        reference = simulate_reference(chains, cpu_capacity=cpu_capacity)
+        oracle_exact = reference == timeline
+
+    incremental = IncrementalSimulator(chains, cpu_capacity=cpu_capacity)
+    incremental_exact = (
+        incremental.base_makespan == timeline.makespan
+        and incremental.base_timeline() == timeline
+    )
+
+    return StrategyConformance(
+        name=name,
+        makespan=timeline.makespan,
+        num_stages=len(timeline.stages),
+        violations=tuple(violations),
+        oracle_exact=oracle_exact,
+        incremental_exact=incremental_exact,
+        timeline=timeline,
+    )
+
+
+def validate_job(
+    job: JobConfig,
+    strategies: Optional[Sequence[Tuple[str, CompressionStrategy]]] = None,
+    oracle: bool = True,
+) -> List[StrategyConformance]:
+    """Conformance-check a job across ``strategies`` (default suite)."""
+    evaluator = StrategyEvaluator(job)
+    if strategies is None:
+        strategies = conformance_strategies(job.model.num_tensors)
+    return [
+        validate_strategy(evaluator, strategy, name=name, oracle=oracle)
+        for name, strategy in strategies
+    ]

@@ -99,6 +99,7 @@ class Espresso:
         refinement_sweeps: int = 6,
         min_sweep_improvement: float = 0.003,
         fast_eval: bool = True,
+        check: bool = False,
     ):
         """Args:
         job: the three-config training job (model, GC, system).
@@ -120,9 +121,12 @@ class Espresso:
             cache + incremental delta-simulation, DESIGN.md §5.2).  The
             selected strategy and iteration time are identical either
             way; disabling it exists for benchmarking the layer itself.
+        check: run the simulator conformance invariant checker on every
+            timeline the planner materializes (``plan --check``); any
+            violation raises instead of producing a silently wrong plan.
         """
         self.job = job
-        self.evaluator = StrategyEvaluator(job, fast=fast_eval)
+        self.evaluator = StrategyEvaluator(job, fast=fast_eval, check=check)
         # The uniform-strategy portfolio uses the preset pipelines, which
         # only makes sense for the full default search space; a caller
         # restricting the candidates gets exactly that restriction.

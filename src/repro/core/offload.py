@@ -54,7 +54,19 @@ def offload_groups(
         # when the option objects were built separately.
         key = (model.tensors[index].num_elements, canonical_key(option))
         by_key.setdefault(key, []).append(index)
-        options[key] = option
+        # Store the first member's option once and verify every later
+        # member against it: a canonical_key collision (two unequal
+        # options sharing a key) would otherwise silently merge distinct
+        # plan chains into one Lemma-1 group and corrupt Algorithm 2's
+        # optimum.  canonical_key is value-interned, so this can only
+        # fire if that interning breaks — fail loudly, not quietly.
+        stored = options.setdefault(key, option)
+        if stored is not option and stored != option:
+            raise ValueError(
+                f"canonical_key collision: tensor {index} option "
+                f"{option.describe()!r} shares key {key[1]} with unequal "
+                f"option {stored.describe()!r}"
+            )
     groups = []
     for key, members in by_key.items():
         members.sort(key=model.distance_to_output, reverse=True)

@@ -30,6 +30,7 @@ from repro.core.options import (
 from repro.core.plan import PlanCompiler
 from repro.sim.engine import Timeline, simulate, simulate_makespan
 from repro.sim.incremental import IncrementalSimulator
+from repro.sim.validate import assert_valid
 from repro.sim.metrics import scaling_factor as _scaling_factor
 from repro.sim.metrics import throughput as _throughput
 from repro.sim.stages import RESOURCES, TensorChain, compute_stage
@@ -171,9 +172,15 @@ class StrategyEvaluator:
             through a from-scratch simulation; results are bit-identical
             either way (the regression tests assert it), so the flag
             exists for benchmarking and for the equivalence tests.
+        check: run the conformance invariant checker
+            (:func:`repro.sim.validate.assert_valid`) on every timeline
+            this evaluator materializes — ``plan --check`` turns it on;
+            a violation raises :class:`~repro.sim.validate.
+            ConformanceError` instead of silently producing a wrong
+            schedule.
     """
 
-    def __init__(self, job: JobConfig, fast: bool = True):
+    def __init__(self, job: JobConfig, fast: bool = True, check: bool = False):
         self.job = job
         self.model = job.model
         self.cluster = job.system.cluster
@@ -188,6 +195,8 @@ class StrategyEvaluator:
         self._chain_cache: Dict[Tuple[int, int], TensorChain] = {}
         self._flat_cache: Dict[Tuple[int, int], Tuple[List[int], List[float]]] = {}
         self.fast = fast
+        self.check = check
+        self.timelines_checked = 0
         self.evaluations = 0  # F(S) computations, reported in Table 5
         self.stats = EvaluatorStats()
         #: Memoized makespans keyed by strategy fingerprint.
@@ -342,8 +351,28 @@ class StrategyEvaluator:
         self.stats.timelines += 1
         if self.fast:
             self._ensure_base(strategy.fingerprint(), strategy)
-            return self._inc.base_timeline()
-        return simulate(self._chains(strategy), cpu_capacity=self._cpu_capacity)
+            timeline = self._inc.base_timeline()
+        else:
+            timeline = simulate(
+                self._chains(strategy), cpu_capacity=self._cpu_capacity
+            )
+        if self.check:
+            assert_valid(
+                timeline,
+                chains=self._chains(strategy),
+                cpu_capacity=self._cpu_capacity,
+            )
+            self.timelines_checked += 1
+        return timeline
+
+    def chains(self, strategy: CompressionStrategy) -> List[TensorChain]:
+        """The per-tensor stage chains ``strategy`` compiles to.
+
+        Public accessor for the conformance layer (oracle runs and the
+        invariant checker need the chains the timeline claims to
+        realize); results are cached per (option value, tensor).
+        """
+        return self._chains(strategy)
 
     def iteration_time(self, strategy: CompressionStrategy) -> float:
         """F(S): the iteration wall-clock time under ``strategy``.

@@ -181,12 +181,14 @@ def _flat_paths() -> List[List[ProtoAction]]:
                 _p(ActionTask.COMM2, Phase.FLAT, ROUTINE_PAIRING[first]),
             ]
         )
-    # compress? Yes — indivisible.
+    # compress? Yes — indivisible.  The Allgather delivers P compressed
+    # pieces, so the receive block (decompress + aggregate) applies just
+    # as in the hierarchical twin (T4's indivisible branch).
     paths.append(
         [
             _p(ActionTask.COMP, Phase.FLAT),
             _p(ActionTask.COMM_C, Phase.FLAT, _AG),
-            _p(ActionTask.DECOMP, Phase.FLAT),
+            *_receive_block(Phase.FLAT),
         ]
     )
     # compress? Yes — divisible, with the intermediate receive block and

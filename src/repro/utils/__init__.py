@@ -12,7 +12,7 @@ from repro.utils.units import (
     format_seconds,
 )
 from repro.utils.tables import render_table
-from repro.utils.validation import check_positive, check_non_negative
+from repro.utils.validation import check_finite, check_non_negative, check_positive
 
 __all__ = [
     "KB",
@@ -27,4 +27,5 @@ __all__ = [
     "render_table",
     "check_positive",
     "check_non_negative",
+    "check_finite",
 ]

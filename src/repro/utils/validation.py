@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 
 def check_positive(name: str, value: float) -> float:
     """Return ``value`` if strictly positive, else raise ``ValueError``."""
@@ -11,7 +13,18 @@ def check_positive(name: str, value: float) -> float:
 
 
 def check_non_negative(name: str, value: float) -> float:
-    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    """Return ``value`` if >= 0, else raise ``ValueError``.
+
+    Note that ``NaN < 0`` is false: callers that must also exclude
+    NaN/infinity should combine this with :func:`check_finite`.
+    """
     if value < 0:
         raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` if finite (not NaN/inf), else raise ``ValueError``."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
     return value

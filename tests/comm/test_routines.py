@@ -106,3 +106,58 @@ def test_invalid_link_params():
         LinkParams(participants=2, bandwidth=0, latency=0)
     with pytest.raises(ValueError):
         LinkParams(participants=2, bandwidth=1e9, latency=-1)
+
+
+# -- degenerate and boundary cases (all seven routines) --------------------
+
+
+@pytest.mark.parametrize("routine", list(Routine))
+def test_single_participant_ignores_huge_latency(routine):
+    """p == 1 is exactly free even when the per-round latency is enormous
+    (the rooted trees' ceil(log2 1) == 0 must not be load-bearing)."""
+    solo = LinkParams(participants=1, bandwidth=1.0, latency=1e6)
+    assert routine_time(routine, 1e12, solo) == 0.0
+
+
+@pytest.mark.parametrize("routine", list(Routine))
+def test_zero_bytes_ignores_latency(routine):
+    """nbytes == 0 charges no latency rounds either: nothing to send."""
+    chatty = LinkParams(participants=64, bandwidth=1e9, latency=1.0)
+    assert routine_time(routine, 0.0, chatty) == 0.0
+
+
+def test_two_participant_closed_forms():
+    """p == 2 closed forms, exactly: one exchange partner, one tree round."""
+    link = LinkParams(participants=2, bandwidth=1e9, latency=1e-5)
+    n = 8e6
+    alpha, beta = link.latency, 1.0 / link.bandwidth
+    assert routine_time(Routine.ALLREDUCE, n, link) == 2 * alpha + n * beta
+    assert routine_time(Routine.REDUCE_SCATTER, n, link) == (
+        alpha + 0.5 * n * beta
+    )
+    assert routine_time(Routine.ALLGATHER, n, link) == alpha + n * beta
+    assert routine_time(Routine.ALLTOALL, n, link) == alpha + 0.5 * n * beta
+    assert routine_time(Routine.REDUCE, n, link) == alpha + n * beta
+    assert routine_time(Routine.BROADCAST, n, link) == alpha + n * beta
+    assert routine_time(Routine.GATHER, n, link) == alpha + n * beta
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_bytes_rejected(bad):
+    with pytest.raises(ValueError):
+        routine_time(Routine.ALLREDUCE, bad, LINK)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_non_finite_link_params_rejected(bad):
+    with pytest.raises(ValueError):
+        LinkParams(participants=2, bandwidth=bad, latency=0.0)
+    with pytest.raises(ValueError):
+        LinkParams(participants=2, bandwidth=1e9, latency=bad)
+
+
+def test_nan_bytes_rejected_not_propagated():
+    """Regression: NaN passes a plain `< 0` check, so without the finite
+    guard a NaN payload would silently poison every downstream makespan."""
+    with pytest.raises(ValueError, match="finite"):
+        routine_time(Routine.ALLGATHER, float("nan"), LINK)

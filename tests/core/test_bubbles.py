@@ -31,17 +31,51 @@ def test_bubble_detected_between_distant_tensors(small_cluster):
     assert 1 not in before
 
 
-def test_saturated_link_has_no_bubbles(small_cluster):
-    """Huge tensors back to back: the inter link never drains."""
+def test_saturated_link_has_only_the_leading_bubble(small_cluster):
+    """Huge tensors back to back: once the inter link starts it never
+    drains — the only idle interval is the leading readiness gap while
+    backprop produces the first gradient."""
     evaluator = make_evaluator(
         [(int(256 * MB / 4), 5 * MS)] * 4, small_cluster
     )
     timeline = evaluator.timeline(evaluator.baseline())
     bubbles = communication_bubbles(timeline)
-    assert "inter" not in bubbles
+    first_inter_start = min(
+        s.start for s in timeline.stages if s.resource == "inter"
+    )
+    for start, end in bubbles.get("inter", []):
+        assert start == 0.0 and end <= first_inter_start + 1e-12, (
+            "saturated link must not have bubbles after its first stage"
+        )
     before = tensors_before_bubbles(timeline)
-    # Nothing on the saturated link is shielded.
+    # Nothing on the saturated link is shielded: a leading bubble starts
+    # at t=0, before every tensor's communication.
     assert before == set()
+
+
+def test_leading_idle_interval_is_a_bubble(small_cluster):
+    """Regression: the idle interval before a link's *first* stage is a
+    readiness gap like any other.  The cursor used to start at the first
+    stage's end, so a link that idled for a long first backprop stage
+    reported no bubble at all."""
+    evaluator = make_evaluator(
+        [(int(4 * MB / 4), 60 * MS), (int(4 * MB / 4), 2 * MS)], small_cluster
+    )
+    timeline = evaluator.timeline(evaluator.baseline())
+    bubbles = communication_bubbles(timeline)
+    for resource in ("intra", "inter"):
+        stages = [s for s in timeline.stages if s.resource == resource]
+        if not stages:
+            continue
+        first_start = min(s.start for s in stages)
+        assert first_start >= 60 * MS  # gated on the first backprop stage
+        gaps = bubbles.get(resource, [])
+        assert (0.0, first_start) in gaps, (
+            f"leading readiness gap on {resource} not reported"
+        )
+    # A bubble starting at t=0 precedes every communication, so it must
+    # not shield the last tensor (whose comms nothing follows).
+    assert 1 not in tensors_before_bubbles(timeline)
 
 
 def test_min_bubble_filters_noise(small_cluster):

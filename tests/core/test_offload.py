@@ -128,3 +128,57 @@ def test_offloaded_indices_property(offload_evaluator):
     assert set(result.offloaded_indices) == set(
         result.strategy.device_indices(Device.CPU)
     )
+
+
+def test_canonical_key_collision_raises(offload_evaluator, monkeypatch):
+    """Regression: a canonical_key collision used to silently overwrite a
+    group's option with the last member's — corrupting the Lemma-1 group
+    if the colliding options ever compiled to different chains.  Now it
+    fails loudly."""
+    import repro.core.offload as offload_mod
+    from repro.core.presets import inter_alltoall_option
+
+    strategy = gpu_strategy(offload_evaluator)
+    # Two *unequal* options on same-size tensors...
+    strategy = strategy.replace(1, inter_alltoall_option(Device.GPU))
+    # ...forced onto one key by breaking the interning.
+    monkeypatch.setattr(offload_mod, "canonical_key", lambda option: 0)
+    with pytest.raises(ValueError, match="canonical_key collision"):
+        offload_groups(offload_evaluator, strategy)
+
+
+def test_mixed_options_form_distinct_groups(offload_evaluator):
+    """Equal sizes but unequal options must never share a group."""
+    from repro.core.presets import inter_alltoall_option
+
+    strategy = gpu_strategy(offload_evaluator)
+    strategy = strategy.replace(1, inter_alltoall_option(Device.GPU))
+    groups = offload_groups(offload_evaluator, strategy)
+    for group in groups:
+        for index in group.members:
+            assert strategy[index] == group.option
+    assert len(groups) == 3  # (big, allgather), (big, alltoall), (small, ...)
+
+
+def test_canonical_key_is_value_interned():
+    """canonical_key agreement must coincide with option equality — the
+    property offload_groups' collision guard assumes (hypothesis sweep
+    over independently rebuilt option objects)."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.core.options import CompressionOption, canonical_key
+    from repro.core.tree import enumerate_options
+
+    options = enumerate_options(mode="uniform")
+
+    @given(st.integers(0, len(options) - 1), st.integers(0, len(options) - 1))
+    @settings(max_examples=200, deadline=None)
+    def check(i, j):
+        a, b = options[i], options[j]
+        # A structurally equal clone built from scratch shares the key.
+        clone = CompressionOption(actions=tuple(a.actions), flat=a.flat)
+        assert canonical_key(clone) == canonical_key(a)
+        assert (canonical_key(a) == canonical_key(b)) == (a == b)
+
+    check()

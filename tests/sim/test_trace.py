@@ -1,0 +1,77 @@
+"""Chrome-trace (Trace Event Format) exporter tests."""
+
+import io
+import json
+
+from repro.sim import (
+    COMM,
+    INTER,
+    Stage,
+    TensorChain,
+    chrome_trace,
+    chrome_trace_events,
+    compute_stage,
+    simulate,
+    write_chrome_trace,
+)
+from repro.sim.stages import RESOURCES
+
+
+def _timeline():
+    chains = [
+        TensorChain(0, [compute_stage(1.0), Stage(INTER, 2.0, COMM, "ar-0")]),
+        TensorChain(1, [compute_stage(1.0), Stage(INTER, 2.0, COMM, "ar-1")]),
+    ]
+    return simulate(chains)
+
+
+def test_one_complete_event_per_stage_plus_thread_metadata():
+    timeline = _timeline()
+    events = chrome_trace_events(timeline)
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(timeline.stages)
+    assert len(metadata) == len(RESOURCES)
+    assert {e["args"]["name"] for e in metadata} == set(RESOURCES)
+    assert all(e["name"] == "thread_name" for e in metadata)
+
+
+def test_timestamps_are_microseconds():
+    timeline = _timeline()
+    by_name = {
+        e["name"]: e for e in chrome_trace_events(timeline) if e["ph"] == "X"
+    }
+    # Tensor 0's allreduce runs [1.0 s, 3.0 s) -> ts 1e6 us, dur 2e6 us.
+    assert by_name["ar-0"]["ts"] == 1.0e6
+    assert by_name["ar-0"]["dur"] == 2.0e6
+    assert by_name["ar-0"]["cat"] == "comm"
+    assert by_name["ar-0"]["args"]["tensor"] == 0
+
+
+def test_events_share_one_pid_with_per_resource_tids():
+    events = chrome_trace_events(_timeline())
+    assert len({e["pid"] for e in events}) == 1
+    used_tids = {e["tid"] for e in events if e["ph"] == "X"}
+    assert used_tids  # at least gpu + inter in the didactic job
+    assert used_tids <= {e["tid"] for e in events if e["ph"] == "M"}
+
+
+def test_chrome_trace_wrapper_metadata():
+    timeline = _timeline()
+    payload = chrome_trace(timeline)
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"]["stages"] == len(timeline.stages)
+    assert payload["otherData"]["makespan_us"] == timeline.makespan * 1e6
+
+
+def test_write_to_path_and_file_object(tmp_path):
+    timeline = _timeline()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(timeline, str(path))
+    from_path = json.loads(path.read_text(encoding="utf-8"))
+
+    buffer = io.StringIO()
+    write_chrome_trace(timeline, buffer)
+    from_file = json.loads(buffer.getvalue())
+
+    assert from_path == from_file == chrome_trace(timeline)

@@ -1,0 +1,233 @@
+"""The invariant checker: clean on real timelines, sharp on tampered ones."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.conformance import conformance_strategies, validate_job
+from repro.core.tree import enumerate_options
+from repro.models import available_models, get_model
+from repro.sim import (
+    COMM,
+    COMPRESS,
+    CPU,
+    DECOMPRESS,
+    GPU,
+    INTER,
+    INTRA,
+    Stage,
+    TensorChain,
+    compute_stage,
+    simulate,
+)
+from repro.sim.engine import Timeline
+from repro.sim.validate import (
+    ConformanceError,
+    assert_valid,
+    check_option_conservation,
+    check_timeline,
+)
+
+durations = st.floats(0.0, 0.1)
+
+
+def _sync_stage(draw_tuple):
+    resource, duration, kind = draw_tuple
+    return Stage(resource=resource, duration=duration, kind=kind, label="")
+
+
+sync_stages = st.tuples(
+    st.sampled_from([CPU, INTRA, INTER, GPU]),
+    durations,
+    st.sampled_from([COMM, COMPRESS, DECOMPRESS]),
+).map(_sync_stage)
+
+chain_lists = st.lists(
+    st.tuples(durations, st.lists(sync_stages, max_size=4)),
+    min_size=1,
+    max_size=8,
+)
+
+
+def build(chains_spec):
+    return [
+        TensorChain(tensor_index=i, stages=[compute_stage(ct), *stages])
+        for i, (ct, stages) in enumerate(chains_spec)
+    ]
+
+
+@given(chain_lists, st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_engine_timelines_are_conformant(chains_spec, cpu_capacity):
+    chains = build(chains_spec)
+    timeline = simulate(chains, cpu_capacity=cpu_capacity)
+    assert check_timeline(
+        timeline, chains=chains, cpu_capacity=cpu_capacity
+    ) == []
+    # assert_valid returns the timeline unchanged when clean.
+    assert assert_valid(timeline, chains=chains, cpu_capacity=cpu_capacity) is (
+        timeline
+    )
+
+
+# -- tamper detection ------------------------------------------------------
+#
+# Two tensors, each compute(1.0) -> inter-comm(2.0).  The engine schedules:
+#   t0 compute [0, 1), t1 compute [1, 2),
+#   t0 comm    [1, 3), t1 comm    [3, 5)   -> makespan 5.0
+
+
+def _didactic():
+    chains = [
+        TensorChain(0, [compute_stage(1.0), Stage(INTER, 2.0, COMM, "ar")]),
+        TensorChain(1, [compute_stage(1.0), Stage(INTER, 2.0, COMM, "ar")]),
+    ]
+    return chains, simulate(chains)
+
+
+def _replace(timeline, predicate, **changes):
+    stages = tuple(
+        dataclasses.replace(s, **changes) if predicate(s) else s
+        for s in timeline.stages
+    )
+    return Timeline(stages=stages, makespan=timeline.makespan)
+
+
+def _invariants(violations):
+    return {v.invariant for v in violations}
+
+
+def test_detects_wrong_makespan():
+    chains, timeline = _didactic()
+    bad = Timeline(stages=timeline.stages, makespan=timeline.makespan + 1.0)
+    assert _invariants(check_timeline(bad, chains=chains)) == {"makespan"}
+
+
+def test_detects_resource_overlap():
+    chains, timeline = _didactic()
+    # Pull tensor 1's comm forward so it overlaps tensor 0's on INTER.
+    bad = _replace(
+        timeline,
+        lambda s: s.tensor_index == 1 and s.stage_index == 1,
+        start=2.0,
+        end=4.0,
+    )
+    assert "no-overlap" in _invariants(check_timeline(bad, chains=chains))
+
+
+def test_detects_fifo_inversion():
+    chains, timeline = _didactic()
+    # Swap dispatch order on INTER: tensor 1 (ready 2.0) runs [2, 4) while
+    # tensor 0 (ready 1.0, higher priority) is made to wait until 4.0.
+    bad = _replace(
+        timeline,
+        lambda s: s.tensor_index == 1 and s.stage_index == 1,
+        start=2.0,
+        end=4.0,
+    )
+    bad = _replace(
+        bad,
+        lambda s: s.tensor_index == 0 and s.stage_index == 1,
+        start=4.0,
+        end=6.0,
+    )
+    bad = Timeline(stages=bad.stages, makespan=6.0)
+    assert "fifo-dispatch" in _invariants(check_timeline(bad, chains=chains))
+
+
+def test_detects_broken_chain_precedence():
+    chains, timeline = _didactic()
+    # Tensor 1's comm claims readiness before its compute stage finished.
+    bad = _replace(
+        timeline,
+        lambda s: s.tensor_index == 1 and s.stage_index == 1,
+        ready=1.5,
+    )
+    assert "chain-precedence" in _invariants(check_timeline(bad, chains=chains))
+
+
+def test_detects_start_before_ready():
+    chains, timeline = _didactic()
+    bad = _replace(
+        timeline,
+        lambda s: s.tensor_index == 1 and s.stage_index == 1,
+        start=2.5,
+        end=4.5,
+        ready=3.0,
+    )
+    assert "start-after-ready" in _invariants(check_timeline(bad))
+
+
+def test_detects_incomplete_chain():
+    chains, timeline = _didactic()
+    truncated = Timeline(stages=timeline.stages[:-1], makespan=3.0)
+    assert "completeness" in _invariants(
+        check_timeline(truncated, chains=chains)
+    )
+
+
+def test_detects_altered_duration():
+    chains, timeline = _didactic()
+    bad = _replace(
+        timeline,
+        lambda s: s.tensor_index == 0 and s.stage_index == 1,
+        duration=1.0,
+    )
+    assert "completeness" in _invariants(check_timeline(bad, chains=chains))
+
+
+def test_assert_valid_raises_with_all_violations():
+    chains, timeline = _didactic()
+    bad = Timeline(stages=timeline.stages, makespan=0.0)
+    with pytest.raises(ConformanceError) as excinfo:
+        assert_valid(bad, chains=chains)
+    assert any(v.invariant == "makespan" for v in excinfo.value.violations)
+
+
+# -- payload-size conservation ---------------------------------------------
+
+
+def test_all_enumerated_options_conserve_payload():
+    """Every option in the full search tree conserves payload size on a
+    distributed cluster (both even and uneven divisions)."""
+    cluster = nvlink_100g_cluster(num_machines=2, gpus_per_machine=4)
+    for num_elements in (1 << 20, 999_983):  # power of two and a prime
+        for option in enumerate_options(mode="independent"):
+            assert check_option_conservation(
+                option, num_elements, cluster
+            ) == [], option.describe()
+
+
+def test_conservation_trivial_on_single_gpu():
+    cluster = nvlink_100g_cluster(num_machines=1, gpus_per_machine=1)
+    for option in enumerate_options(mode="uniform"):
+        assert check_option_conservation(option, 4096, cluster) == []
+
+
+# -- the zoo × preset suite × both testbeds (tier-1) -----------------------
+
+
+@pytest.mark.parametrize("testbed", ["nvlink", "pcie"])
+@pytest.mark.parametrize("model_name", available_models())
+def test_zoo_uniform_suite_invariants(model_name, testbed):
+    """Invariant checker passes on all six zoo models × every uniform
+    preset strategy × both interconnects (engine-only: the oracle sweep
+    lives in test_oracle.py under the slow marker)."""
+    factory = nvlink_100g_cluster if testbed == "nvlink" else pcie_25g_cluster
+    job = JobConfig(
+        model=get_model(model_name),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=factory(num_machines=2, gpus_per_machine=4)),
+    )
+    reports = validate_job(job, oracle=False)
+    assert len(reports) == len(conformance_strategies(job.model.num_tensors))
+    for report in reports:
+        assert not report.violations, (
+            f"{model_name}/{testbed}/{report.name}: "
+            + "; ".join(str(v) for v in report.violations)
+        )
+        assert report.incremental_exact, f"{model_name}/{testbed}/{report.name}"

@@ -62,3 +62,50 @@ def test_plan_from_config_files(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_validate_command(capsys, tmp_path):
+    trace = tmp_path / "trace.json"
+    assert main([
+        "validate", "--model", "lstm", "--testbed", "nvlink",
+        "--machines", "2", "--gpus", "4", "--trace", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "All 8 strategies conformant" in out
+    assert "0 violations" not in out  # table shows "ok", not counts
+    for name in ("baseline", "allgather-gpu", "alltoall-cpu", "double-gpu"):
+        assert name in out
+    import json
+
+    payload = json.loads(trace.read_text(encoding="utf-8"))
+    assert payload["traceEvents"]
+    assert payload["otherData"]["stages"] > 0
+
+
+def test_validate_single_strategy_skip_oracle(capsys):
+    assert main([
+        "validate", "--model", "lstm", "--machines", "2", "--gpus", "4",
+        "--strategy", "baseline", "--skip-oracle",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "skipped" in out
+    assert "All 1 strategies conformant" in out
+
+
+def test_plan_check_flag(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4", "--check",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "conformance:" in out
+    assert "0 violations" in out
+
+
+def test_compare_check_flag(capsys):
+    assert main([
+        "compare", "--model", "lstm", "--gc", "efsignsgd",
+        "--machines", "2", "--gpus", "4", "--check",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "conformance: 5 system timelines checked, 0 violations" in out

@@ -22,3 +22,28 @@ def test_check_non_negative_accepts_zero():
 def test_check_non_negative_rejects_negative():
     with pytest.raises(ValueError, match="y must be >= 0"):
         check_non_negative("y", -1e-9)
+
+
+def test_check_finite_passes_through():
+    from repro.utils.validation import check_finite
+
+    assert check_finite("z", 1.5) == 1.5
+    assert check_finite("z", 0.0) == 0.0
+
+
+@pytest.mark.parametrize(
+    "bad", [float("nan"), float("inf"), float("-inf")]
+)
+def test_check_finite_rejects(bad):
+    from repro.utils.validation import check_finite
+
+    with pytest.raises(ValueError, match="z must be finite"):
+        check_finite("z", bad)
+
+
+def test_nan_slips_past_non_negative():
+    """Documents why check_finite exists: NaN compares false to
+    everything, so `value < 0` does not reject it."""
+    import math
+
+    assert math.isnan(check_non_negative("y", float("nan")))
