@@ -1,29 +1,51 @@
 #!/usr/bin/env bash
 # Full correctness gate: tier-1 tests, the slow differential-oracle
-# sweeps, and the simulator conformance battery over the model zoo on
-# both testbeds.  Run from the repository root:
+# sweeps, the simulator conformance battery over the model zoo on both
+# testbeds, and the fault-injection sensitivity sweeps.  Run from the
+# repository root:
 #
 #   bash scripts/check.sh
 #
 # CI should treat any non-zero exit as a failure.
+#
+# Hang-detection net: every phase runs under a hard timeout (override
+# with PHASE_TIMEOUT, seconds).  On timeout the process receives SIGABRT
+# — with PYTHONFAULTHANDLER=1 that dumps every thread's traceback — so a
+# stuck conformance sweep fails loudly with a stack instead of wedging
+# CI.  pytest additionally arms faulthandler_timeout (pyproject.toml)
+# for per-test dumps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
+export PYTHONFAULTHANDLER=1
+PHASE_TIMEOUT="${PHASE_TIMEOUT:-900}"
+
+run_phase() {
+    # SIGABRT first (faulthandler dump), SIGKILL 15s later if wedged hard.
+    local status=0
+    timeout --signal=ABRT --kill-after=15 "$PHASE_TIMEOUT" "$@" || status=$?
+    if [ "$status" -ne 0 ]; then
+        if [ "$status" -ge 124 ]; then
+            echo "HANG: phase exceeded ${PHASE_TIMEOUT}s and was aborted: $*" >&2
+        fi
+        exit "$status"
+    fi
+}
 
 echo "== tier-1 test suite =="
-python -m pytest -x -q
+run_phase python -m pytest -x -q
 
 echo
 echo "== slow suite (O(n^2) oracle sweeps over the zoo) =="
-python -m pytest -q -m slow
+run_phase python -m pytest -q -m slow
 
 echo
 echo "== simulator conformance: zoo x uniform suite x testbeds =="
 for model in vgg16 resnet101 ugatit bert-base gpt2 lstm; do
     for testbed in nvlink pcie; do
         echo "-- ${model} / ${testbed}"
-        python -m repro validate --model "$model" --testbed "$testbed" \
+        run_phase python -m repro validate --model "$model" --testbed "$testbed" \
             --machines 2 --gpus 4
     done
 done
@@ -32,9 +54,22 @@ echo
 echo "== planner conformance: plan --check over the zoo =="
 for model in vgg16 resnet101 ugatit bert-base gpt2 lstm; do
     echo "-- ${model}"
-    python -m repro plan --model "$model" --gc dgc --ratio 0.01 \
+    run_phase python -m repro plan --model "$model" --gc dgc --ratio 0.01 \
         --machines 2 --gpus 4 --check | grep "conformance:"
 done
+
+echo
+echo "== fault injection: ensemble sensitivity + invariants over faulted timelines =="
+for model in vgg16 bert-base lstm; do
+    echo "-- ${model}"
+    run_phase python -m repro faults --model "$model" --gc dgc --ratio 0.01 \
+        --machines 2 --gpus 4 --check | grep "conformance:"
+done
+
+echo
+echo "== robust planning: plan --robust on a preset =="
+run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
+    --machines 2 --gpus 4 --robust | grep "Robust selection"
 
 echo
 echo "All checks passed."

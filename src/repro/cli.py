@@ -4,7 +4,9 @@ Examples::
 
     python -m repro plan --model gpt2 --gc dgc --ratio 0.01 \\
         --testbed nvlink --machines 8
+    python -m repro plan --model vgg16 --robust --objective worst
     python -m repro compare --model lstm --gc efsignsgd --testbed pcie
+    python -m repro faults --model bert-base --gc dgc --ratio 0.01
     python -m repro models
     python -m repro options --mode uniform
 
@@ -12,15 +14,19 @@ Examples::
 
     python -m repro plan --model-config model.json --gc-config gc.json \\
         --system-config system.json
+
+Config-file errors (missing file, malformed JSON, missing fields) exit
+with code 2 and a one-line message.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.baselines import ALL_SYSTEMS, UpperBound
+from repro.baselines import ALL_SYSTEMS, FP32, HiPress, UpperBound
 from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
 from repro.config import (
     GCInfo,
@@ -37,28 +43,54 @@ from repro.core.conformance import (
     validate_strategy,
 )
 from repro.core.options import Device
-from repro.core.strategy import StrategyEvaluator
+from repro.core.robust import OBJECTIVES, robust_select, sensitivity_sweep
+from repro.core.strategy import StrategyEvaluator, baseline_strategy
 from repro.core.tree import search_space_size
+from repro.sim.faults import ensemble_by_name
 from repro.sim.trace import write_chrome_trace
 from repro.sim.validate import ConformanceError
 from repro.models import available_models, get_model
 from repro.utils import format_bytes, render_table
 
+#: Exit code for unusable command-line inputs (bad config files), the
+#: same convention argparse uses for unparseable arguments.
+EXIT_USAGE = 2
+
+
+class CLIConfigError(Exception):
+    """A config file the user pointed at cannot be used (exit code 2)."""
+
+
+def _load_config(loader: Callable, path: str, what: str):
+    """Run a config ``loader``, translating failures to one-line errors."""
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        raise CLIConfigError(f"{what} config not found: {path}") from None
+    except IsADirectoryError:
+        raise CLIConfigError(f"{what} config is a directory: {path}") from None
+    except json.JSONDecodeError as error:
+        raise CLIConfigError(
+            f"{what} config {path}: malformed JSON ({error})"
+        ) from None
+    except (KeyError, TypeError, ValueError) as error:
+        raise CLIConfigError(f"{what} config {path}: {error}") from None
+
 
 def _build_job(args: argparse.Namespace) -> JobConfig:
     if args.model_config:
-        model = load_model(args.model_config)
+        model = _load_config(load_model, args.model_config, "model")
     else:
         model = get_model(args.model)
     if args.gc_config:
-        gc = load_gc(args.gc_config)
+        gc = _load_config(load_gc, args.gc_config, "GC")
     else:
         params = {}
         if args.ratio is not None:
             params["ratio"] = args.ratio
         gc = GCInfo(args.gc, params)
     if args.system_config:
-        cluster = load_cluster(args.system_config)
+        cluster = _load_config(load_cluster, args.system_config, "system")
     else:
         factory = nvlink_100g_cluster if args.testbed == "nvlink" else pcie_25g_cluster
         cluster = factory(num_machines=args.machines, gpus_per_machine=args.gpus)
@@ -110,7 +142,51 @@ def _print_stats(result) -> None:
     ))
 
 
+def _print_strategy_table(job: JobConfig, strategy) -> None:
+    rows = []
+    for index in strategy.compressed_indices:
+        tensor = job.model.tensors[index]
+        option = strategy[index]
+        device = "CPU" if option.uses_device(Device.CPU) else "GPU"
+        scope = "intra+inter" if option.compresses_intra else (
+            "inter" if option.compresses_inter else "intra"
+        )
+        rows.append((tensor.name, format_bytes(tensor.nbytes), device, scope))
+    if rows:
+        print(render_table(["tensor", "size", "device", "scope"], rows,
+                           title="Compressed tensors:"))
+    else:
+        print("No tensor benefits from compression on this job.")
+
+
+def cmd_plan_robust(args: argparse.Namespace) -> int:
+    job = _build_job(args)
+    ensemble = ensemble_by_name(args.ensemble)
+    result = robust_select(
+        job,
+        ensemble=ensemble,
+        objective=args.objective,
+        cvar_alpha=args.cvar_alpha,
+        check=args.check,
+    )
+    print(result.summary())
+    print()
+    rows = [
+        (name, f"{seconds * 1e3:.2f} ms")
+        for name, seconds in result.per_fault_times
+    ]
+    print(render_table(
+        ["fault", "iteration"], rows,
+        title=f"Selected strategy across the {args.ensemble!r} ensemble:",
+    ))
+    print()
+    _print_strategy_table(job, result.strategy)
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
+    if args.robust:
+        return cmd_plan_robust(args)
     job = _build_job(args)
     planner = Espresso(job, check=args.check)
     try:
@@ -142,20 +218,54 @@ def cmd_plan(args: argparse.Namespace) -> int:
     if args.stats:
         _print_stats(result)
         print()
+    _print_strategy_table(job, result.strategy)
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    job = _build_job(args)
+    ensemble = ensemble_by_name(args.ensemble)
+    espresso = Espresso(job).select_strategy().strategy
+    strategies = [
+        ("espresso", espresso),
+        ("fp32", baseline_strategy(job.model.num_tensors)),
+    ]
+    for system_cls in (HiPress,):
+        baseline = system_cls().run(job)
+        strategies.append((baseline.name.lower(), baseline.strategy))
+    report = sensitivity_sweep(
+        job, strategies, ensemble=ensemble, check=args.check
+    )
+    headers = ["fault"] + [name for name, _ in strategies]
     rows = []
-    for index in result.compressed_indices:
-        tensor = job.model.tensors[index]
-        option = result.strategy[index]
-        device = "CPU" if option.uses_device(Device.CPU) else "GPU"
-        scope = "intra+inter" if option.compresses_intra else (
-            "inter" if option.compresses_inter else "intra"
+    for fault_name in report.fault_names:
+        row = [fault_name]
+        for entry in report.strategies:
+            value = entry.time_under(fault_name)
+            row.append(
+                f"{value * 1e3:.2f} ms ({entry.overhead_under(fault_name):+.1%})"
+            )
+        rows.append(tuple(row))
+    print(render_table(
+        headers, rows,
+        title=f"Fault sensitivity: {job.model.name} + {job.gc.algorithm}, "
+              f"{job.system.cluster.total_gpus} GPUs "
+              f"({job.system.cluster.interconnect}) — "
+              f"iteration time (overhead vs own nominal)",
+    ))
+    print()
+    for entry in report.strategies:
+        print(
+            f"{entry.name}: worst case {entry.worst_time * 1e3:.2f} ms "
+            f"under {entry.worst_fault!r} "
+            f"({entry.overhead_under(entry.worst_fault):+.1%} vs nominal)"
         )
-        rows.append((tensor.name, format_bytes(tensor.nbytes), device, scope))
-    if rows:
-        print(render_table(["tensor", "size", "device", "scope"], rows,
-                           title="Compressed tensors:"))
-    else:
-        print("No tensor benefits from compression on this job.")
+    if args.check:
+        print()
+        print(
+            f"conformance: {report.timelines_checked} faulted timelines "
+            f"checked, 0 violations"
+        )
     return 0
 
 
@@ -286,7 +396,31 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--check", action="store_true",
                       help="run the simulator conformance invariant checker "
                            "on every timeline the planner materializes")
+    plan.add_argument("--robust", action="store_true",
+                      help="select by a robust objective over the fault "
+                           "perturbation ensemble instead of the nominal "
+                           "iteration time")
+    plan.add_argument("--objective", default="worst", choices=OBJECTIVES,
+                      help="robust objective: worst-case or CVaR makespan "
+                           "over the ensemble (with --robust)")
+    plan.add_argument("--cvar-alpha", type=float, default=0.25,
+                      help="tail fraction for the cvar objective")
+    plan.add_argument("--ensemble", default="default", choices=("default",),
+                      help="named perturbation ensemble (with --robust)")
     plan.set_defaults(func=cmd_plan)
+
+    faults = sub.add_parser(
+        "faults",
+        help="sweep a perturbation ensemble and report per-fault-class "
+             "sensitivity of the selected strategy vs FP32 and a baseline",
+    )
+    _add_job_arguments(faults)
+    faults.add_argument("--ensemble", default="default", choices=("default",),
+                        help="named perturbation ensemble to sweep")
+    faults.add_argument("--check", action="store_true",
+                        help="run the full invariant battery on every "
+                             "faulted timeline")
+    faults.set_defaults(func=cmd_faults)
 
     compare = sub.add_parser("compare", help="compare all systems on a job")
     _add_job_arguments(compare)
@@ -329,7 +463,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except ConformanceError as error:
+        print(f"CONFORMANCE FAILURE:\n{error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

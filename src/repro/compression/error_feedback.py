@@ -32,19 +32,42 @@ class ErrorFeedback:
         self._residuals: Dict[object, np.ndarray] = {}
 
     def compress(
-        self, key: object, gradient: np.ndarray, seed: Optional[int] = None
+        self,
+        key: object,
+        gradient: np.ndarray,
+        seed: Optional[int] = None,
+        compressor: Optional[Compressor] = None,
     ) -> CompressedTensor:
-        """Compress ``gradient`` for tensor ``key``, updating the residual."""
+        """Compress ``gradient`` for tensor ``key``, updating the residual.
+
+        ``compressor`` overrides the wrapped compressor for this call
+        while keeping the same residual store — the graceful-degradation
+        path (fall back to ``NoCompression`` when a compressor faults)
+        uses it so the accumulated residual is carried into the fallback
+        step instead of being dropped.  The residual is only updated if
+        the compressor succeeds, so a faulting ``compress`` leaves the
+        state exactly as it was (safe to retry).
+        """
+        comp = compressor if compressor is not None else self.compressor
         grad = np.asarray(gradient, dtype=np.float32)
         residual = self._residuals.get(key)
         acc = grad if residual is None else grad + residual
-        compressed = self.compressor.compress(acc, seed=seed)
-        self._residuals[key] = acc - self.compressor.decompress(compressed)
+        compressed = comp.compress(acc, seed=seed)
+        self._residuals[key] = acc - comp.decompress(compressed)
         return compressed
 
-    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
-        """Decompress (stateless; provided for call-site symmetry)."""
-        return self.compressor.decompress(compressed)
+    def decompress(
+        self,
+        compressed: CompressedTensor,
+        compressor: Optional[Compressor] = None,
+    ) -> np.ndarray:
+        """Decompress (stateless; provided for call-site symmetry).
+
+        ``compressor`` must match whatever produced ``compressed`` when
+        the compress call used an override (the degradation path).
+        """
+        comp = compressor if compressor is not None else self.compressor
+        return comp.decompress(compressed)
 
     def residual(self, key: object) -> Optional[np.ndarray]:
         """The residual currently stored for ``key`` (None before first use)."""

@@ -23,6 +23,7 @@ from repro.core.conformance import (
     conformance_strategies,
     validate_job,
     validate_strategy,
+    validate_under_faults,
 )
 from repro.core.espresso import Espresso, EspressoResult
 from repro.core.offload import (
@@ -44,6 +45,17 @@ from repro.core.options import (
     validate_option,
 )
 from repro.core.plan import PlanCompiler
+from repro.core.robust import (
+    DegradationTable,
+    ReplanResult,
+    RobustPlanResult,
+    SensitivityReport,
+    StrategySensitivity,
+    cvar,
+    robust_select,
+    sensitivity_sweep,
+    worst_case,
+)
 from repro.core.strategy import (
     CompressionStrategy,
     StrategyEvaluator,
@@ -96,4 +108,14 @@ __all__ = [
     "conformance_strategies",
     "validate_job",
     "validate_strategy",
+    "validate_under_faults",
+    "sensitivity_sweep",
+    "robust_select",
+    "worst_case",
+    "cvar",
+    "SensitivityReport",
+    "StrategySensitivity",
+    "RobustPlanResult",
+    "DegradationTable",
+    "ReplanResult",
 ]

@@ -142,3 +142,34 @@ def validate_job(
         validate_strategy(evaluator, strategy, name=name, oracle=oracle)
         for name, strategy in strategies
     ]
+
+
+def validate_under_faults(
+    job: JobConfig,
+    ensemble: Optional[Sequence["FaultModel"]] = None,
+    strategies: Optional[Sequence[Tuple[str, CompressionStrategy]]] = None,
+    oracle: bool = False,
+) -> List[Tuple[str, List[StrategyConformance]]]:
+    """Run the conformance battery on every perturbed variant of ``job``.
+
+    Faults perturb job inputs, never the engine (:mod:`repro.sim.
+    faults`), so a faulted timeline must clear exactly the same
+    invariant bar as a nominal one — this is the check ``repro faults
+    --check`` and the fault tests in ``tests/sim`` rely on.  Returns
+    ``[(fault name, conformance reports)]`` in ensemble order.
+    """
+    from repro.sim.faults import default_ensemble
+
+    if ensemble is None:
+        ensemble = default_ensemble()
+    return [
+        (
+            fault_model.name,
+            validate_job(
+                fault_model.apply_to_job(job),
+                strategies=strategies,
+                oracle=oracle,
+            ),
+        )
+        for fault_model in ensemble
+    ]

@@ -1,0 +1,331 @@
+"""Fault injection: deterministic perturbations of a training job.
+
+The planner (Algorithms 1/2) assumes a perfectly profiled, static
+cluster; one straggling GPU, a degraded NIC, or a contended host CPU
+silently invalidates the "near-optimal" strategy it selected.  This
+module gives the simulator a first-class fault vocabulary: a
+:class:`Fault` perturbs one aspect of a :class:`~repro.config.JobConfig`
+(compute profile, link parameters, compression devices), and a
+:class:`FaultModel` composes several faults into one degraded cluster
+state.
+
+Design rule: **faults perturb inputs, never the engine.**  Every fault
+maps a job to another perfectly ordinary job — scaled compute times,
+scaled ``ClusterSpec`` bandwidths, degraded ``DeviceProfile``s — so a
+faulted timeline is produced by the unmodified deterministic simulator
+and passes the full :mod:`repro.sim.validate` invariant battery exactly
+like a nominal one.  That is what makes perturbation-ensemble sweeps
+(:mod:`repro.core.robust`) trustworthy: there is no second, weaker
+scheduling semantics for degraded states.
+
+Transient message loss is modeled in expectation inside the alpha-beta
+collective cost: a loss probability ``p`` per transmission inflates the
+bandwidth term by the expected transmission count ``1/(1-p)`` and adds
+the expected exponential-backoff delay ``base * p / (1 - 2p)`` to the
+per-round latency (geometric retry; the k-th retry waits
+``base * 2^(k-1)``, converging for ``p < 0.5``).  Deterministic
+expected values keep the engine exact; the tail of the retry
+distribution is the province of the robust objectives (worst-case /
+CVaR), not of the cost model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.config import JobConfig
+from repro.utils.units import MS
+from repro.utils.validation import check_non_negative
+
+#: Scopes a link-level fault can target.
+INTRA_SCOPE = "intra"
+INTER_SCOPE = "inter"
+_LINK_SCOPES = (INTRA_SCOPE, INTER_SCOPE)
+
+
+def retransmit_factors(
+    loss_rate: float, backoff_base: float
+) -> Tuple[float, float]:
+    """(bandwidth scale, extra per-round latency) of lossy transmission.
+
+    With per-transmission loss probability ``p``, a message is sent
+    ``1/(1-p)`` times in expectation, so effective bandwidth scales by
+    ``1-p``; the expected total exponential backoff before the winning
+    transmission is ``sum_{k>=1} p^k * base * 2^(k-1) = base*p/(1-2p)``.
+    """
+    if not 0.0 <= loss_rate < 0.5:
+        raise ValueError(
+            f"loss_rate must be in [0, 0.5) for the geometric-backoff "
+            f"expectation to converge, got {loss_rate}"
+        )
+    check_non_negative("backoff_base", backoff_base)
+    if loss_rate == 0.0:
+        return 1.0, 0.0
+    return 1.0 - loss_rate, backoff_base * loss_rate / (1.0 - 2.0 * loss_rate)
+
+
+class Fault(abc.ABC):
+    """One deterministic perturbation of a training job."""
+
+    @abc.abstractmethod
+    def apply(self, job: JobConfig) -> JobConfig:
+        """Return the perturbed copy of ``job`` (never mutates it)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description."""
+
+
+@dataclass(frozen=True)
+class StragglerGPU(Fault):
+    """The representative GPU is a straggler.
+
+    Scales every backprop compute time, the forward time, and the GPU
+    compression device (kernels launch and stream slower) by
+    ``slowdown``.  In synchronous data parallelism the slowest worker
+    paces the iteration, so perturbing the representative GPU models a
+    single straggler in the cluster.
+    """
+
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        model = job.model
+        scaled = replace(
+            model,
+            forward_time=model.forward_time * self.slowdown,
+            tensors=tuple(
+                replace(t, compute_time=t.compute_time * self.slowdown)
+                for t in model.tensors
+            ),
+        )
+        gpu = job.system.gpu
+        degraded_gpu = replace(
+            gpu,
+            launch_overhead=gpu.launch_overhead * self.slowdown,
+            throughput=gpu.throughput / self.slowdown,
+        )
+        return replace(
+            job,
+            model=scaled,
+            system=replace(job.system, gpu=degraded_gpu),
+        )
+
+    def describe(self) -> str:
+        return f"straggler GPU ({self.slowdown:g}x slower compute/kernels)"
+
+
+@dataclass(frozen=True)
+class DegradedLink(Fault):
+    """A communication link runs below its profiled parameters.
+
+    Args:
+        scope: ``"intra"`` (NVLink/PCIe fabric) or ``"inter"`` (NIC).
+        bandwidth_scale: multiplier in (0, 1] on the link bandwidth.
+        extra_latency: seconds added to the per-round latency (alpha).
+    """
+
+    scope: str
+    bandwidth_scale: float = 1.0
+    extra_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scope not in _LINK_SCOPES:
+            raise ValueError(
+                f"scope must be one of {_LINK_SCOPES}, got {self.scope!r}"
+            )
+        if not 0.0 < self.bandwidth_scale <= 1.0:
+            raise ValueError(
+                f"bandwidth_scale must be in (0, 1], got {self.bandwidth_scale}"
+            )
+        check_non_negative("extra_latency", self.extra_latency)
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        cluster = job.system.cluster
+        if self.scope == INTRA_SCOPE:
+            cluster = replace(
+                cluster,
+                intra_bw=cluster.intra_bw * self.bandwidth_scale,
+                intra_latency=cluster.intra_latency + self.extra_latency,
+            )
+        else:
+            cluster = replace(
+                cluster,
+                inter_bw=cluster.inter_bw * self.bandwidth_scale,
+                inter_latency=cluster.inter_latency + self.extra_latency,
+            )
+        return replace(job, system=replace(job.system, cluster=cluster))
+
+    def describe(self) -> str:
+        parts = [f"{self.scope} link"]
+        if self.bandwidth_scale != 1.0:
+            parts.append(f"bandwidth x{self.bandwidth_scale:g}")
+        if self.extra_latency:
+            parts.append(f"+{self.extra_latency * 1e6:g}us latency")
+        return "degraded " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CPUContention(Fault):
+    """Host CPU cores are contended by co-located work.
+
+    Scales the CPU compression throughput down by ``slowdown`` and
+    removes ``stolen_workers`` cores from the parallel compression pool
+    (the paper's testbed shares 48 cores among 8 GPU workers — under
+    load, CPU offloading is the first strategy component to collapse).
+    """
+
+    slowdown: float = 1.0
+    stolen_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if self.stolen_workers < 0:
+            raise ValueError(
+                f"stolen_workers must be >= 0, got {self.stolen_workers}"
+            )
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        cpu = job.system.cpu
+        degraded = replace(
+            cpu,
+            throughput=cpu.throughput / self.slowdown,
+            parallel_workers=max(1, cpu.parallel_workers - self.stolen_workers),
+        )
+        return replace(job, system=replace(job.system, cpu=degraded))
+
+    def describe(self) -> str:
+        return (
+            f"CPU contention ({self.slowdown:g}x slower, "
+            f"-{self.stolen_workers} workers)"
+        )
+
+
+@dataclass(frozen=True)
+class MessageLoss(Fault):
+    """Transient message loss with retransmit + exponential backoff.
+
+    Applied in expectation to the alpha-beta link parameters (see the
+    module docstring): bandwidth scales by ``1 - loss_rate``, and the
+    expected backoff delay joins the per-round latency.
+
+    Args:
+        loss_rate: per-transmission loss probability, in [0, 0.5).
+        scope: ``"inter"`` (default — lossy Ethernet is the realistic
+            case) or ``"intra"``.
+        backoff_base: first-retry backoff in seconds.
+    """
+
+    loss_rate: float
+    scope: str = INTER_SCOPE
+    backoff_base: float = 1 * MS
+
+    def __post_init__(self) -> None:
+        if self.scope not in _LINK_SCOPES:
+            raise ValueError(
+                f"scope must be one of {_LINK_SCOPES}, got {self.scope!r}"
+            )
+        # Range-checks loss_rate / backoff_base as a side effect.
+        retransmit_factors(self.loss_rate, self.backoff_base)
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        bw_scale, extra_latency = retransmit_factors(
+            self.loss_rate, self.backoff_base
+        )
+        return DegradedLink(
+            scope=self.scope,
+            bandwidth_scale=bw_scale,
+            extra_latency=extra_latency,
+        ).apply(job)
+
+    def describe(self) -> str:
+        return (
+            f"{self.scope} message loss ({self.loss_rate:.2%}, "
+            f"retransmit + exp. backoff)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A named, composable set of faults — one degraded cluster state.
+
+    ``FaultModel.nominal()`` (no faults) is the identity; composition
+    applies faults in order, each perturbing the previous output.
+    """
+
+    name: str
+    faults: Tuple[Fault, ...] = ()
+
+    @classmethod
+    def nominal(cls) -> "FaultModel":
+        """The unperturbed cluster state."""
+        return cls(name="nominal", faults=())
+
+    @property
+    def is_nominal(self) -> bool:
+        return not self.faults
+
+    def apply_to_job(self, job: JobConfig) -> JobConfig:
+        """The perturbed job this degraded cluster state induces."""
+        for fault in self.faults:
+            job = fault.apply(job)
+        return job
+
+    def compose(self, other: "FaultModel", name: str = "") -> "FaultModel":
+        """Both models' faults, in order."""
+        return FaultModel(
+            name=name or f"{self.name}+{other.name}",
+            faults=self.faults + other.faults,
+        )
+
+    def describe(self) -> str:
+        if self.is_nominal:
+            return f"{self.name}: no perturbation"
+        return f"{self.name}: " + "; ".join(f.describe() for f in self.faults)
+
+
+def default_ensemble() -> List[FaultModel]:
+    """The documented perturbation ensemble used by ``repro faults`` and
+    ``plan --robust`` (DESIGN.md §5.4).
+
+    One member per fault class the paper's static profile cannot see —
+    a straggler GPU, degraded intra/inter links, host CPU contention,
+    transient inter-machine message loss — plus a compound
+    "degraded-mix" state and the nominal identity.
+    """
+    return [
+        FaultModel.nominal(),
+        FaultModel("straggler-1.5x", (StragglerGPU(1.5),)),
+        FaultModel("slow-inter-50", (DegradedLink(INTER_SCOPE, 0.5),)),
+        FaultModel("slow-intra-50", (DegradedLink(INTRA_SCOPE, 0.5),)),
+        FaultModel(
+            "cpu-contention", (CPUContention(slowdown=4.0, stolen_workers=3),)
+        ),
+        FaultModel("lossy-inter-1pct", (MessageLoss(0.01),)),
+        FaultModel(
+            "degraded-mix",
+            (
+                StragglerGPU(1.25),
+                DegradedLink(INTER_SCOPE, 0.7),
+                MessageLoss(0.005),
+            ),
+        ),
+    ]
+
+
+def ensemble_by_name(name: str) -> List[FaultModel]:
+    """Look up a named ensemble (CLI entry point)."""
+    ensembles = {"default": default_ensemble}
+    try:
+        return ensembles[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown ensemble {name!r}; available: {sorted(ensembles)}"
+        ) from None

@@ -4,6 +4,12 @@ from repro.training.data import Dataset, make_classification, shard_dataset
 from repro.training.engine import DataParallelTrainer, TrainingCurve
 from repro.training.metrics import accuracy, macro_f1
 from repro.training.nets import MLP
+from repro.training.supervision import (
+    CompressorFault,
+    CompressorFaultSpec,
+    FlakyCompressor,
+    TrainingSupervisor,
+)
 
 __all__ = [
     "Dataset",
@@ -14,4 +20,8 @@ __all__ = [
     "TrainingCurve",
     "accuracy",
     "macro_f1",
+    "CompressorFault",
+    "CompressorFaultSpec",
+    "FlakyCompressor",
+    "TrainingSupervisor",
 ]

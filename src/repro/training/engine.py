@@ -11,8 +11,9 @@ to plot time-to-accuracy (Fig. 16(b)).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.compression.error_feedback import ErrorFeedback
 from repro.compression.none import NoCompression
 from repro.training.data import Dataset, shard_dataset
 from repro.training.nets import MLP
+from repro.training.supervision import CompressorFault, TrainingSupervisor
 
 
 @dataclass
@@ -60,6 +62,7 @@ class DataParallelTrainer:
         hidden: int = 64,
         step_seconds: float = 1.0,
         seed: int = 0,
+        supervisor: Optional[TrainingSupervisor] = None,
     ):
         """Args:
         dataset: the task to train on.
@@ -70,6 +73,12 @@ class DataParallelTrainer:
         step_seconds: simulated wall-clock per iteration — wire this to
             the DDL simulator's iteration time to compare time-to-accuracy
             between strategies (Fig. 16).
+        supervisor: fault-injection schedule and resilience policy
+            (retry with backoff, per-tensor degradation to
+            ``NoCompression``, worker dropout).  ``None`` installs a
+            default supervisor with no scripted faults, so genuine
+            :class:`~repro.training.supervision.CompressorFault`s from
+            the compressor itself still degrade gracefully.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -90,41 +99,93 @@ class DataParallelTrainer:
         }
         self._rng = np.random.default_rng(seed + 1)
         self._step = 0
+        self.supervisor = supervisor if supervisor is not None else TrainingSupervisor()
+        self._fallback = NoCompression()
+        #: Tensors permanently degraded to the fallback compressor after
+        #: exhausting their retries.  Global (not per-worker): every
+        #: replica must make the same compression decision or the
+        #: aggregated update — and therefore the replicas — diverge.
+        self.degraded_tensors: Set[str] = set()
 
     def _worker_batch(self, worker: int):
         x, y = self._shards[worker]
         idx = self._rng.integers(0, x.shape[0], size=self.batch_size)
         return x[idx], y[idx]
 
+    def _shared_seed(self, name: str) -> int:
+        """Deterministic shared seed per (step, tensor).
+
+        Random-k must pick the same coordinates on every worker *and*
+        every process: ``zlib.crc32`` is stable across interpreter runs,
+        unlike ``hash()`` whose string hashing is randomized per process
+        (PYTHONHASHSEED).
+        """
+        return zlib.crc32(f"{self._step}:{name}".encode()) & 0x7FFFFFFF
+
+    def _supervised_compress(
+        self, feedback: ErrorFeedback, name: str, grad: np.ndarray
+    ) -> np.ndarray:
+        """Compress + decompress with retry/backoff and degradation.
+
+        A faulting compress leaves the error-feedback residual untouched
+        (``ErrorFeedback`` updates state only on success), so retries
+        and the eventual fallback both see the full accumulated
+        residual: nothing is dropped, nothing applied twice.  Returns
+        the decompressed wire tensor this worker contributes to the
+        aggregation.
+        """
+        seed = self._shared_seed(name)
+        if name in self.degraded_tensors:
+            compressed = feedback.compress(
+                name, grad, seed=seed, compressor=self._fallback
+            )
+            return feedback.decompress(compressed, compressor=self._fallback)
+        supervisor = self.supervisor
+        attempt = 0
+        while True:
+            try:
+                supervisor.inject(self._step, name)
+                compressed = feedback.compress(name, grad, seed=seed)
+                return feedback.decompress(compressed)
+            except CompressorFault as fault:
+                attempt += 1
+                supervisor.record_fault(self._step, name, str(fault))
+                if attempt > supervisor.max_retries:
+                    self.degraded_tensors.add(name)
+                    compressed = feedback.compress(
+                        name, grad, seed=seed, compressor=self._fallback
+                    )
+                    return feedback.decompress(
+                        compressed, compressor=self._fallback
+                    )
+                supervisor.backoff(attempt)
+
     def train_step(self) -> float:
         """One synchronous iteration; returns the mean worker loss."""
+        active = self.supervisor.active_workers(self._step, self.workers)
         aggregated: Dict[str, np.ndarray] = {}
         total_loss = 0.0
-        for worker in range(self.workers):
+        for worker in active:
             x, y = self._worker_batch(worker)
             loss, grads = self.model.loss_and_gradients(x, y)
             total_loss += loss
             feedback = self._feedback[worker]
             for name, grad in grads.items():
-                # Shared seed per (step, tensor): Random-k picks the same
-                # coordinates on every worker, as real deployments do.
-                seed = hash((self._step, name)) & 0x7FFFFFFF
-                compressed = feedback.compress(name, grad, seed=seed)
-                decompressed = feedback.decompress(compressed)
+                decompressed = self._supervised_compress(feedback, name, grad)
                 if name in aggregated:
                     aggregated[name] += decompressed
                 else:
                     aggregated[name] = decompressed
         updates = {}
         for name, grad_sum in aggregated.items():
-            grad = grad_sum / self.workers
+            grad = grad_sum / len(active)
             self._velocity[name] = (
                 self.momentum * self._velocity[name] + grad
             )
             updates[name] = self.learning_rate * self._velocity[name]
         self.model.apply_update(updates)
         self._step += 1
-        return total_loss / self.workers
+        return total_loss / len(active)
 
     def evaluate(self) -> float:
         """Test-set accuracy of the (shared) model replica."""
@@ -141,7 +202,11 @@ class DataParallelTrainer:
             recent_losses.append(self.train_step())
             if self._step % eval_every == 0 or self._step == steps:
                 curve.steps.append(self._step)
-                curve.seconds.append(self._step * self.step_seconds)
+                # Retry backoff is wall-clock the job actually spent.
+                curve.seconds.append(
+                    self._step * self.step_seconds
+                    + self.supervisor.backoff_seconds
+                )
                 curve.train_loss.append(float(np.mean(recent_losses)))
                 curve.test_accuracy.append(self.evaluate())
                 recent_losses.clear()

@@ -1,0 +1,180 @@
+"""Fault-injection layer tests: perturbation algebra and the invariant
+battery over faulted timelines."""
+
+import pytest
+
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.conformance import validate_under_faults
+from repro.core.strategy import StrategyEvaluator, baseline_strategy
+from repro.models import get_model
+from repro.sim.faults import (
+    CPUContention,
+    DegradedLink,
+    FaultModel,
+    MessageLoss,
+    StragglerGPU,
+    default_ensemble,
+    ensemble_by_name,
+    retransmit_factors,
+)
+
+
+@pytest.fixture(scope="module")
+def job():
+    return JobConfig(
+        model=get_model("lstm"),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=pcie_25g_cluster(2, 4)),
+    )
+
+
+def test_nominal_model_is_identity(job):
+    assert FaultModel.nominal().apply_to_job(job) is job or (
+        FaultModel.nominal().apply_to_job(job) == job
+    )
+
+
+def test_straggler_scales_compute_and_gpu_device(job):
+    perturbed = StragglerGPU(2.0).apply(job)
+    assert perturbed.model.forward_time == job.model.forward_time * 2.0
+    for before, after in zip(job.model.tensors, perturbed.model.tensors):
+        assert after.compute_time == before.compute_time * 2.0
+        assert after.num_elements == before.num_elements
+    assert perturbed.system.gpu.throughput == job.system.gpu.throughput / 2.0
+    assert (
+        perturbed.system.gpu.launch_overhead
+        == job.system.gpu.launch_overhead * 2.0
+    )
+    # The original job is untouched (faults never mutate).
+    assert job.system.gpu.throughput != perturbed.system.gpu.throughput
+
+
+def test_degraded_link_scopes(job):
+    intra = DegradedLink("intra", bandwidth_scale=0.5, extra_latency=1e-5)
+    inter = DegradedLink("inter", bandwidth_scale=0.25)
+    a = intra.apply(job)
+    assert a.system.cluster.intra_bw == job.system.cluster.intra_bw * 0.5
+    assert a.system.cluster.intra_latency == pytest.approx(
+        job.system.cluster.intra_latency + 1e-5
+    )
+    assert a.system.cluster.inter_bw == job.system.cluster.inter_bw
+    b = inter.apply(job)
+    assert b.system.cluster.inter_bw == job.system.cluster.inter_bw * 0.25
+    assert b.system.cluster.intra_bw == job.system.cluster.intra_bw
+
+
+def test_cpu_contention(job):
+    perturbed = CPUContention(slowdown=3.0, stolen_workers=2).apply(job)
+    assert perturbed.system.cpu.throughput == job.system.cpu.throughput / 3.0
+    assert (
+        perturbed.system.cpu.parallel_workers
+        == max(1, job.system.cpu.parallel_workers - 2)
+    )
+    # Never drops below one worker.
+    floor = CPUContention(stolen_workers=100).apply(job)
+    assert floor.system.cpu.parallel_workers == 1
+
+
+def test_retransmit_factors_math():
+    assert retransmit_factors(0.0, 1e-3) == (1.0, 0.0)
+    bw_scale, backoff = retransmit_factors(0.1, 1e-3)
+    # E[transmissions] = 1/(1-p) -> bandwidth scales by (1-p).
+    assert bw_scale == pytest.approx(0.9)
+    # E[backoff] = base * p / (1 - 2p).
+    assert backoff == pytest.approx(1e-3 * 0.1 / 0.8)
+    with pytest.raises(ValueError):
+        retransmit_factors(0.5, 1e-3)
+    with pytest.raises(ValueError):
+        retransmit_factors(-0.01, 1e-3)
+
+
+def test_message_loss_inflates_alpha_beta(job):
+    perturbed = MessageLoss(0.02).apply(job)
+    cluster, base = perturbed.system.cluster, job.system.cluster
+    assert cluster.inter_bw == pytest.approx(base.inter_bw * 0.98)
+    assert cluster.inter_latency > base.inter_latency
+    # A lossy link strictly slows every strategy that touches it.
+    evaluator = StrategyEvaluator(job)
+    faulted = StrategyEvaluator(perturbed)
+    fp32 = baseline_strategy(job.model.num_tensors)
+    assert faulted.iteration_time(fp32) > evaluator.iteration_time(fp32)
+
+
+def test_fault_model_composes_in_order(job):
+    composed = FaultModel(
+        "mix", (StragglerGPU(1.5), DegradedLink("inter", 0.5))
+    )
+    perturbed = composed.apply_to_job(job)
+    assert perturbed.model.forward_time == job.model.forward_time * 1.5
+    assert perturbed.system.cluster.inter_bw == job.system.cluster.inter_bw * 0.5
+    other = FaultModel("loss", (MessageLoss(0.01),))
+    both = composed.compose(other)
+    assert both.name == "mix+loss"
+    assert len(both.faults) == 3
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        StragglerGPU(0.5)
+    with pytest.raises(ValueError):
+        DegradedLink("nowhere")
+    with pytest.raises(ValueError):
+        DegradedLink("intra", bandwidth_scale=0.0)
+    with pytest.raises(ValueError):
+        CPUContention(slowdown=0.9)
+    with pytest.raises(ValueError):
+        MessageLoss(0.7)
+    with pytest.raises(ValueError):
+        ensemble_by_name("no-such-ensemble")
+
+
+def test_default_ensemble_shape():
+    ensemble = default_ensemble()
+    names = [fm.name for fm in ensemble]
+    assert names[0] == "nominal"
+    assert len(names) == len(set(names))
+    # One member per fault class plus the compound state.
+    assert {"straggler-1.5x", "slow-inter-50", "slow-intra-50",
+            "cpu-contention", "lossy-inter-1pct", "degraded-mix"} <= set(names)
+    assert ensemble_by_name("default")[0].is_nominal
+    for fm in ensemble:
+        assert fm.describe().startswith(fm.name)
+
+
+def test_every_faulted_timeline_passes_invariant_battery(job):
+    """The acceptance bar: faults perturb inputs, never the engine, so
+    every faulted timeline clears the full ``sim/validate`` battery."""
+    results = validate_under_faults(job, oracle=False)
+    assert len(results) == len(default_ensemble())
+    for fault_name, reports in results:
+        for report in reports:
+            assert report.ok, (
+                f"{fault_name}/{report.name}: "
+                f"{[str(v) for v in report.violations]}"
+            )
+
+
+@pytest.mark.slow
+def test_faulted_timelines_match_oracle_nvlink():
+    """Differential oracle over faulted jobs (slow suite)."""
+    job = JobConfig(
+        model=get_model("vgg16"),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster(2, 4)),
+    )
+    for fault_name, reports in validate_under_faults(job, oracle=True):
+        for report in reports:
+            assert report.oracle_exact, f"{fault_name}/{report.name}"
+            assert report.incremental_exact, f"{fault_name}/{report.name}"
+
+
+def test_faulted_job_makespans_are_finite_and_ordered(job):
+    """A degraded state is never faster than nominal for FP32 (FP32 uses
+    every resource class the ensemble degrades except the CPU pool)."""
+    fp32 = baseline_strategy(job.model.num_tensors)
+    nominal_time = StrategyEvaluator(job).iteration_time(fp32)
+    for fault_model in default_ensemble():
+        evaluator = StrategyEvaluator(fault_model.apply_to_job(job))
+        time = evaluator.iteration_time(fp32)
+        assert time >= nominal_time or fault_model.name == "cpu-contention"

@@ -109,3 +109,87 @@ def test_compare_check_flag(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "conformance: 5 system timelines checked, 0 violations" in out
+
+
+def test_faults_command(capsys):
+    assert main([
+        "faults", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Fault sensitivity" in out
+    # The sensitivity table covers the selected strategy, FP32, and a
+    # baseline, with per-fault-class overhead deltas.
+    for column in ("espresso", "fp32", "hipress"):
+        assert column in out
+    for fault in ("nominal", "straggler-1.5x", "slow-inter-50",
+                  "cpu-contention", "lossy-inter-1pct", "degraded-mix"):
+        assert fault in out
+    assert "worst case" in out
+    assert "%" in out
+
+
+def test_faults_check_flag(capsys):
+    assert main([
+        "faults", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4", "--check",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "faulted timelines checked, 0 violations" in out
+
+
+def test_plan_robust_flag(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4", "--robust",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Robust selection" in out
+    assert "nominal plan" in out  # "replaces" or "confirms" verdict
+
+
+def test_plan_robust_cvar_objective(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4",
+        "--robust", "--objective", "cvar", "--cvar-alpha", "0.5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Robust selection (cvar)" in out
+
+
+# -- failure paths: bad config files exit 2 with a one-line message --------
+
+
+@pytest.mark.parametrize("flag", ["--model-config", "--gc-config",
+                                  "--system-config"])
+def test_missing_config_file_exits_2(flag, tmp_path, capsys):
+    assert main(["plan", flag, str(tmp_path / "nope.json")]) == 2
+    err = capsys.readouterr().err
+    assert "not found" in err
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+@pytest.mark.parametrize("flag", ["--model-config", "--gc-config",
+                                  "--system-config"])
+def test_malformed_config_file_exits_2(flag, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["plan", flag, str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "malformed JSON" in err
+    assert err.count("\n") == 1
+
+
+def test_config_directory_exits_2(tmp_path, capsys):
+    assert main(["plan", "--model-config", str(tmp_path)]) == 2
+    assert "is a directory" in capsys.readouterr().err
+
+
+def test_wrong_schema_config_exits_2(tmp_path, capsys):
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"unexpected": 1}', encoding="utf-8")
+    assert main(["plan", "--model-config", str(wrong)]) == 2
+    err = capsys.readouterr().err
+    assert "model config" in err
+    assert err.count("\n") == 1

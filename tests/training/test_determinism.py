@@ -1,0 +1,75 @@
+"""Cross-process determinism of the training engine.
+
+Random-k's shared coordinate seed used to be derived from ``hash((step,
+name))`` — Python randomizes string hashing per process (PYTHONHASHSEED),
+so two launches of the "same" job sampled different coordinates.  The
+seed now comes from ``zlib.crc32``; this regression test trains the same
+job in two subprocesses with different hash seeds and demands identical
+parameters.
+"""
+
+import os
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+from repro.compression import RandomK
+from repro.training import DataParallelTrainer, make_classification
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+TRAIN_SCRIPT = """
+import hashlib
+from repro.compression import RandomK
+from repro.training import DataParallelTrainer, make_classification
+
+dataset = make_classification(samples=400, features=16, classes=3,
+                              informative=8, seed=7)
+trainer = DataParallelTrainer(dataset, compressor=RandomK(ratio=0.1),
+                              workers=2, seed=3)
+trainer.train(steps=12, eval_every=12)
+digest = hashlib.sha256()
+for name in sorted(trainer.model.params):
+    digest.update(name.encode())
+    digest.update(trainer.model.params[name].tobytes())
+print(digest.hexdigest())
+"""
+
+
+def train_digest(hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+    result = subprocess.run(
+        [sys.executable, "-c", TRAIN_SCRIPT],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+def test_training_identical_across_hash_seeds():
+    """Same job, different PYTHONHASHSEED -> bitwise-identical params."""
+    digests = {train_digest(seed) for seed in ("0", "1", "random")}
+    assert len(digests) == 1, digests
+
+
+def test_shared_seed_is_crc32_not_hash():
+    dataset = make_classification(samples=200, features=16, classes=2,
+                                  informative=8, seed=1)
+    trainer = DataParallelTrainer(dataset, compressor=RandomK(ratio=0.1),
+                                  workers=2, seed=1)
+    trainer._step = 17
+    expected = zlib.crc32(b"17:fc1.weight") & 0x7FFFFFFF
+    assert trainer._shared_seed("fc1.weight") == expected
+
+
+def test_shared_seed_varies_by_step_and_tensor():
+    dataset = make_classification(samples=200, features=16, classes=2,
+                                  informative=8, seed=1)
+    trainer = DataParallelTrainer(dataset, compressor=RandomK(ratio=0.1),
+                                  workers=2, seed=1)
+    a = trainer._shared_seed("fc1.weight")
+    b = trainer._shared_seed("fc2.weight")
+    trainer._step = 1
+    c = trainer._shared_seed("fc1.weight")
+    assert len({a, b, c}) == 3

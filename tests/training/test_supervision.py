@@ -1,0 +1,255 @@
+"""Training supervision: fault injection, retry with backoff, graceful
+per-tensor degradation to ``NoCompression``, and worker dropout.
+
+The load-bearing contract here is error-feedback preservation across the
+degradation boundary: when a compressor faults, the accumulated residual
+must be neither dropped nor applied twice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import DGC, NoCompression, RandomK
+from repro.compression.error_feedback import ErrorFeedback
+from repro.training import (
+    CompressorFault,
+    CompressorFaultSpec,
+    DataParallelTrainer,
+    FlakyCompressor,
+    TrainingSupervisor,
+    make_classification,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(samples=800, features=16, classes=3,
+                               informative=8, seed=7)
+
+
+def params_digest(trainer):
+    return {
+        name: value.tobytes() for name, value in trainer.model.params.items()
+    }
+
+
+# -- scripted injection ----------------------------------------------------
+
+
+def test_permanent_fault_degrades_only_affected_tensor(dataset):
+    supervisor = TrainingSupervisor(
+        compressor_faults=(CompressorFaultSpec("fc1.weight", step=3),),
+        retry_backoff=0.01,
+    )
+    trainer = DataParallelTrainer(
+        dataset, compressor=DGC(ratio=0.1), workers=3, seed=5,
+        supervisor=supervisor,
+    )
+    curve = trainer.train(steps=20, eval_every=10)
+    assert trainer.degraded_tensors == {"fc1.weight"}
+    # max_retries=2 -> 3 failing attempts logged at the fault step; the
+    # first worker degrades the tensor globally, so later workers go
+    # straight to the fallback without re-probing the broken compressor.
+    assert len(supervisor.fault_log) == 3
+    assert all(t == "fc1.weight" for _, t, _ in supervisor.fault_log)
+    # Backoff charged for retries 1 and 2: 0.01 * (1 + 2).
+    assert supervisor.backoff_seconds == pytest.approx(0.01 * 3)
+    # The run completes and the time axis includes the retry stalls.
+    assert curve.seconds[-1] == pytest.approx(
+        20 * trainer.step_seconds + supervisor.backoff_seconds
+    )
+
+
+def test_transient_fault_heals_without_degradation(dataset):
+    supervisor = TrainingSupervisor(
+        compressor_faults=(
+            CompressorFaultSpec("fc3.bias", step=2, failures=1),
+        ),
+        retry_backoff=0.01,
+    )
+    trainer = DataParallelTrainer(
+        dataset, compressor=DGC(ratio=0.1), workers=2, seed=5,
+        supervisor=supervisor,
+    )
+    trainer.train(steps=10, eval_every=10)
+    assert trainer.degraded_tensors == set()
+    assert len(supervisor.fault_log) == 1
+    assert supervisor.backoff_seconds == pytest.approx(0.01)
+
+
+def test_degraded_run_keeps_replicas_bitwise_identical(dataset):
+    """Degradation decisions are global, so a faulted run is still
+    deterministic and bitwise-reproducible."""
+    def run():
+        supervisor = TrainingSupervisor(
+            compressor_faults=(CompressorFaultSpec("fc2.weight", step=1),),
+            retry_backoff=0.0,
+        )
+        trainer = DataParallelTrainer(
+            dataset, compressor=RandomK(ratio=0.1), workers=4, seed=9,
+            supervisor=supervisor,
+        )
+        trainer.train(steps=15, eval_every=15)
+        return trainer
+
+    a, b = run(), run()
+    assert a.degraded_tensors == b.degraded_tensors == {"fc2.weight"}
+    da, db = params_digest(a), params_digest(b)
+    assert da.keys() == db.keys()
+    for name in da:
+        assert da[name] == db[name], name
+
+
+def test_faulted_run_still_converges(dataset):
+    supervisor = TrainingSupervisor(
+        compressor_faults=(CompressorFaultSpec("fc1.weight", step=0),),
+        retry_backoff=0.0,
+    )
+    curve = DataParallelTrainer(
+        dataset, compressor=DGC(ratio=0.1), workers=4, seed=1, momentum=0.5,
+        supervisor=supervisor,
+    ).train(steps=150, eval_every=50)
+    assert curve.final_accuracy > 0.7
+    assert curve.train_loss[-1] < curve.train_loss[0]
+
+
+# -- error-feedback preservation (satellite: residual contract) ------------
+
+
+def test_failed_compress_leaves_residual_untouched():
+    feedback = ErrorFeedback(DGC(ratio=0.25))
+    grad = np.linspace(-1.0, 1.0, 64, dtype=np.float32)
+    feedback.compress("t", grad, seed=1)
+    before = feedback.residual("t")
+    assert before is not None and np.any(before != 0.0)
+    flaky = FlakyCompressor(DGC(ratio=0.25), fail_from=0)
+    with pytest.raises(CompressorFault):
+        feedback.compress("t", grad, seed=2, compressor=flaky)
+    after = feedback.residual("t")
+    np.testing.assert_array_equal(before, after)
+
+
+def test_fallback_flushes_residual_once_then_zeroes():
+    """The NoCompression fallback sees gradient + residual exactly once:
+    the wire tensor equals their sum, and the stored residual becomes
+    zero (nothing left to double-apply next step)."""
+    feedback = ErrorFeedback(DGC(ratio=0.25))
+    grad = np.linspace(-1.0, 1.0, 64, dtype=np.float32)
+    feedback.compress("t", grad, seed=1)
+    residual = feedback.residual("t")
+    fallback = NoCompression()
+    compressed = feedback.compress("t", grad, seed=2, compressor=fallback)
+    wire = feedback.decompress(compressed, compressor=fallback)
+    np.testing.assert_allclose(wire, grad + residual, rtol=0, atol=0)
+    np.testing.assert_array_equal(feedback.residual("t"), np.zeros_like(grad))
+
+
+def test_degradation_preserves_error_feedback_end_to_end(dataset):
+    """Across the trainer's degradation boundary, no gradient signal is
+    lost: the degraded run's updates equal a hand-computed schedule where
+    the residual at the fault step is flushed into the exact update."""
+    compressor = DGC(ratio=0.1)
+    fault_step = 4
+    supervisor = TrainingSupervisor(
+        compressor_faults=(CompressorFaultSpec("fc1.weight", fault_step),),
+        max_retries=0, retry_backoff=0.0,
+    )
+    trainer = DataParallelTrainer(
+        dataset, compressor=compressor, workers=1, seed=3,
+        supervisor=supervisor,
+    )
+
+    # Mirror trainer: same model/stream, error feedback applied by hand.
+    mirror = DataParallelTrainer(dataset, compressor=compressor, workers=1,
+                                 seed=3)
+    feedback = ErrorFeedback(compressor)
+    fallback = NoCompression()
+    for step in range(fault_step + 2):
+        x, y = mirror._worker_batch(0)
+        _, grads = mirror.model.loss_and_gradients(x, y)
+        updates = {}
+        for name, grad in grads.items():
+            seed = mirror._shared_seed(name)
+            use_fallback = name == "fc1.weight" and step >= fault_step
+            comp = fallback if use_fallback else None
+            wire = feedback.decompress(
+                feedback.compress(name, grad, seed=seed, compressor=comp),
+                compressor=comp,
+            )
+            mirror._velocity[name] = (
+                mirror.momentum * mirror._velocity[name] + wire
+            )
+            updates[name] = mirror.learning_rate * mirror._velocity[name]
+        mirror.model.apply_update(updates)
+        mirror._step += 1
+        trainer.train_step()
+
+    assert trainer.degraded_tensors == {"fc1.weight"}
+    expected, actual = params_digest(mirror), params_digest(trainer)
+    for name in expected:
+        assert expected[name] == actual[name], name
+
+
+# -- faults originating inside the compressor ------------------------------
+
+
+def test_flaky_compressor_fault_origin(dataset):
+    """A fault raised by the compressor itself (not the injection hook)
+    takes the same retry/degrade path."""
+    flaky = FlakyCompressor(DGC(ratio=0.1), fail_calls=(2,))
+    trainer = DataParallelTrainer(
+        dataset, compressor=flaky, workers=1, seed=5,
+        supervisor=TrainingSupervisor(retry_backoff=0.0),
+    )
+    trainer.train(steps=5, eval_every=5)
+    assert flaky.faults_raised == 1
+    assert trainer.degraded_tensors == set()  # transient: retry healed it
+    assert len(trainer.supervisor.fault_log) == 1
+
+
+def test_flaky_compressor_permanent_failure_degrades(dataset):
+    flaky = FlakyCompressor(DGC(ratio=0.1), fail_from=0)
+    trainer = DataParallelTrainer(
+        dataset, compressor=flaky, workers=1, seed=5,
+        supervisor=TrainingSupervisor(max_retries=1, retry_backoff=0.0),
+    )
+    trainer.train(steps=3, eval_every=3)
+    # Every tensor degraded (the compressor never works again).
+    assert trainer.degraded_tensors == set(trainer.model.params)
+
+
+# -- worker dropout --------------------------------------------------------
+
+
+def test_worker_dropout_membership(dataset):
+    supervisor = TrainingSupervisor(worker_dropout={1: 5, 3: 5})
+    trainer = DataParallelTrainer(
+        dataset, workers=4, seed=2, supervisor=supervisor,
+    )
+    assert supervisor.active_workers(4, 4) == [0, 1, 2, 3]
+    assert supervisor.active_workers(5, 4) == [0, 2]
+    curve = trainer.train(steps=10, eval_every=10)
+    assert len(curve.test_accuracy) == 1  # run completed
+
+
+def test_all_workers_dropped_raises(dataset):
+    supervisor = TrainingSupervisor(worker_dropout={0: 2, 1: 2})
+    trainer = DataParallelTrainer(
+        dataset, workers=2, seed=2, supervisor=supervisor,
+    )
+    trainer.train(steps=2, eval_every=2)
+    with pytest.raises(RuntimeError, match="all 2 workers dropped"):
+        trainer.train_step()
+
+
+def test_supervisor_validation():
+    with pytest.raises(ValueError):
+        TrainingSupervisor(max_retries=-1)
+    with pytest.raises(ValueError):
+        TrainingSupervisor(retry_backoff=-0.1)
+    with pytest.raises(ValueError):
+        TrainingSupervisor(worker_dropout={-1: 3})
+    with pytest.raises(ValueError):
+        CompressorFaultSpec("t", step=-1)
+    with pytest.raises(ValueError):
+        CompressorFaultSpec("t", failures=0)
