@@ -14,6 +14,7 @@ representative subset; set ``REPRO_BENCH_SCALE=paper`` for the full grid.
 from __future__ import annotations
 
 import functools
+import json
 import os
 from pathlib import Path
 from typing import Callable, Dict, Tuple
@@ -68,6 +69,25 @@ def run_case(
         f"{cluster.interconnect}|{cluster.num_machines}x{cluster.gpus_per_machine}"
     )
     return run_system_cached(system_cls, key, job_for(model_name, gc, cluster))
+
+
+def merge_bench_json(path: Path, updates: Dict) -> Dict:
+    """Merge ``updates`` into a BENCH_*.json file, keeping other keys.
+
+    Several bench modules contribute sections to the same trajectory
+    file (e.g. ``test_perf_planner`` writes the per-model records and
+    ``test_perf_parallel`` the ``"parallel"`` section); a plain
+    ``write_text`` from either would clobber the other's section.
+    """
+    existing: Dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(updates)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+    return existing
 
 
 def emit(name: str, text: str) -> None:

@@ -1,0 +1,108 @@
+"""Parallel strategy search: serial vs ``--jobs`` selection time.
+
+Times ``Espresso.select_strategy()`` serial and with ``jobs=4`` on the
+benchmark presets and merges a ``"parallel"`` section into
+``BENCH_planner.json``: model → {serial_ms, parallel_ms, ratio,
+requested_jobs, effective_jobs}.  ``jobs=4`` goes through the *default*
+path — the worker-pool width is clamped to the host's core count, so on
+a single-core CI box the planner transparently runs serial
+(``effective_jobs=1``) instead of paying pure time-slicing overhead.
+The sanity gate is therefore the same everywhere: the parallel-requested
+run never costs more than 1.2x the serial one, and the selection is
+bit-identical.
+
+No pytest-benchmark fixture on purpose: the interleaved best-of-pairs
+measurement below is self-contained, so this file also runs where the
+plugin is absent (scripts/check.sh's bench sanity phase).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from benchmarks.harness import emit, merge_bench_json, paper_scale
+from benchmarks.test_perf_planner import BENCH_PATH, _job
+from repro.core import Espresso
+from repro.core.parallel import available_cores
+from repro.utils import render_table
+
+REQUESTED_JOBS = 4
+
+#: Models with enough candidate-pricing work for the fan-out to matter;
+#: the full-zoo timing lives in test_perf_planner.
+MODELS = ("gpt2", "bert-base") if paper_scale() else ("vgg16", "gpt2")
+
+
+def _timed(job, jobs):
+    start = time.perf_counter()
+    result = Espresso(job, jobs=jobs).select_strategy()
+    return (time.perf_counter() - start) * 1e3, result
+
+
+def _measure(job, pairs=2):
+    """Interleaved (serial, parallel, serial, parallel, ...) samples,
+    best of each side, gc paused so collections hit neither side."""
+    samples = {1: [], REQUESTED_JOBS: []}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(pairs):
+            for jobs in (1, REQUESTED_JOBS):
+                samples[jobs].append(_timed(job, jobs))
+                gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    serial_ms, serial = min(samples[1], key=lambda timed: timed[0])
+    parallel_ms, parallel = min(
+        samples[REQUESTED_JOBS], key=lambda timed: timed[0]
+    )
+    return serial_ms, serial, parallel_ms, parallel
+
+
+def test_perf_parallel():
+    records = {}
+    for name in MODELS:
+        job = _job(name)
+        serial_ms, serial, parallel_ms, parallel = _measure(job)
+        # The acceptance gate: bit-identical selection for every width.
+        assert parallel.strategy.options == serial.strategy.options, name
+        assert parallel.iteration_time == serial.iteration_time, name
+        records[name] = {
+            "serial_ms": round(serial_ms, 1),
+            "parallel_ms": round(parallel_ms, 1),
+            "ratio": round(parallel_ms / serial_ms, 3),
+            "requested_jobs": REQUESTED_JOBS,
+            "effective_jobs": parallel.stats.parallel_jobs,
+            "fanout_ms": round(parallel.stats.fanout_seconds * 1e3, 1),
+            "merge_ms": round(parallel.stats.merge_seconds * 1e3, 1),
+        }
+
+    merge_bench_json(BENCH_PATH, {"parallel": records})
+
+    table = render_table(
+        ["Model", "serial", f"--jobs {REQUESTED_JOBS}", "ratio", "effective"],
+        [
+            (
+                name,
+                f"{rec['serial_ms']:,.0f} ms",
+                f"{rec['parallel_ms']:,.0f} ms",
+                f"{rec['ratio']:.2f}x",
+                f"{rec['effective_jobs']}/{rec['requested_jobs']}",
+            )
+            for name, rec in records.items()
+        ],
+        title=(
+            f"Parallel strategy search ({available_cores()} core(s) "
+            "available)"
+        ),
+    )
+    emit("perf_parallel", table)
+
+    for name, rec in records.items():
+        # Requesting workers must never cost real time: either the
+        # clamp keeps the run serial, or the fan-out pays for itself.
+        # 1.2x of headroom absorbs timer noise on short selections.
+        assert rec["ratio"] <= 1.2, (name, rec)
+        assert 1 <= rec["effective_jobs"] <= REQUESTED_JOBS, (name, rec)

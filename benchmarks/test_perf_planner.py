@@ -14,11 +14,10 @@ from __future__ import annotations
 
 import functools
 import gc
-import json
 import time
 from pathlib import Path
 
-from benchmarks.harness import emit, paper_scale
+from benchmarks.harness import emit, merge_bench_json, paper_scale
 from repro.cluster import nvlink_100g_cluster
 from repro.config import GCInfo, JobConfig, SystemInfo
 from repro.core import Espresso
@@ -94,7 +93,9 @@ def test_perf_planner(benchmark):
     records = compute_records()
     benchmark(compute_records)
 
-    BENCH_PATH.write_text(json.dumps(records, indent=2) + "\n")
+    # Merge, don't clobber: test_perf_parallel contributes a "parallel"
+    # section to the same trajectory file.
+    merge_bench_json(BENCH_PATH, records)
 
     table = render_table(
         ["Model", "selection", "F(S) calls", "cache hits", "prefix reuse"],

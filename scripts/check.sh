@@ -72,4 +72,19 @@ run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
     --machines 2 --gpus 4 --robust | grep "Robust selection"
 
 echo
+echo "== parallel equivalence: --jobs N bit-identical to serial (zoo) =="
+run_phase python -m pytest -q tests/core/test_parallel.py \
+    tests/core/test_parallel_equivalence.py -m ''
+
+echo
+echo "== parallel planner: plan --jobs 4 --check smoke =="
+run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
+    --machines 2 --gpus 4 --jobs 4 --check | grep "conformance:"
+
+echo
+echo "== parallel benchmark sanity: --jobs 4 <= 1.2x serial =="
+run_phase python -m pytest -q -p no:cacheprovider \
+    benchmarks/test_perf_parallel.py
+
+echo
 echo "All checks passed."

@@ -39,10 +39,15 @@ from repro.config import (
 from repro.core import Espresso
 from repro.core.conformance import (
     conformance_strategies,
-    validate_job,
     validate_strategy,
 )
 from repro.core.options import Device
+from repro.core.parallel import (
+    WorkerPool,
+    WorkerPoolError,
+    run_system_task,
+    validate_strategy_task,
+)
 from repro.core.robust import OBJECTIVES, robust_select, sensitivity_sweep
 from repro.core.strategy import StrategyEvaluator, baseline_strategy
 from repro.core.tree import search_space_size
@@ -111,6 +116,10 @@ def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
                         help="GC-information JSON (overrides --gc/--ratio)")
     parser.add_argument("--system-config", default=None,
                         help="system-information JSON (overrides --testbed)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the strategy search "
+                             "(clamped to the host's core count; results "
+                             "are bit-identical for every N)")
 
 
 def _print_stats(result) -> None:
@@ -129,6 +138,17 @@ def _print_stats(result) -> None:
     ]
     print(render_table(["counter", "value"], rows))
     print()
+    if stats.parallel_jobs > 1:
+        worker_rows = [
+            ("worker pool width", f"{stats.parallel_jobs}"),
+            ("pricing tasks shipped", f"{stats.parallel_tasks:,}"),
+            ("fan-out wait", f"{stats.fanout_seconds:.3f} s"),
+            ("merge time", f"{stats.merge_seconds:.3f} s"),
+        ]
+        for pid, count in sorted(stats.worker_evaluations.items()):
+            worker_rows.append((f"evaluations by worker {pid}", f"{count:,}"))
+        print(render_table(["parallel", "value"], worker_rows))
+        print()
     phases = [
         ("Algorithm 1 (GPU decision)", result.gpu_selection_seconds),
         ("Algorithm 2 (CPU offload)", result.offload_selection_seconds),
@@ -168,6 +188,7 @@ def cmd_plan_robust(args: argparse.Namespace) -> int:
         objective=args.objective,
         cvar_alpha=args.cvar_alpha,
         check=args.check,
+        jobs=args.jobs,
     )
     print(result.summary())
     print()
@@ -188,7 +209,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     if args.robust:
         return cmd_plan_robust(args)
     job = _build_job(args)
-    planner = Espresso(job, check=args.check)
+    planner = Espresso(job, check=args.check, jobs=args.jobs)
     try:
         result = planner.select_strategy()
     except ConformanceError as error:
@@ -225,7 +246,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_faults(args: argparse.Namespace) -> int:
     job = _build_job(args)
     ensemble = ensemble_by_name(args.ensemble)
-    espresso = Espresso(job).select_strategy().strategy
+    espresso = Espresso(job, jobs=args.jobs).select_strategy().strategy
     strategies = [
         ("espresso", espresso),
         ("fp32", baseline_strategy(job.model.num_tensors)),
@@ -234,7 +255,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         baseline = system_cls().run(job)
         strategies.append((baseline.name.lower(), baseline.strategy))
     report = sensitivity_sweep(
-        job, strategies, ensemble=ensemble, check=args.check
+        job, strategies, ensemble=ensemble, check=args.check, jobs=args.jobs
     )
     headers = ["fault"] + [name for name, _ in strategies]
     rows = []
@@ -269,6 +290,25 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_systems(job: JobConfig, systems, jobs: int) -> List:
+    """Each system's BaselineResult, fanned out when ``jobs > 1``.
+
+    Workers only run the (independent, deterministic) per-system
+    planning; order and results match the serial loop exactly.
+    """
+    if jobs > 1 and len(systems) > 1:
+        with WorkerPool(jobs) as pool:
+            if pool.active:
+                try:
+                    return pool.run(
+                        run_system_task,
+                        [(system_cls, job) for system_cls in systems],
+                    )
+                except WorkerPoolError:
+                    pass
+    return [system_cls().run(job) for system_cls in systems]
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     job = _build_job(args)
     rows = []
@@ -277,8 +317,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         systems.append(UpperBound)
     checker = StrategyEvaluator(job, check=True) if args.check else None
     checked = 0
-    for system_cls in systems:
-        result = system_cls().run(job)
+    for result in _run_systems(job, systems, args.jobs):
         if checker is not None:
             try:
                 checker.timeline(result.strategy)
@@ -301,24 +340,41 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_suite(job: JobConfig, named, oracle: bool, jobs: int) -> List:
+    """Conformance reports for ``named`` strategies, fanned out when
+    ``jobs > 1`` (one strategy's full battery per worker task)."""
+    if jobs > 1 and len(named) > 1:
+        with WorkerPool(jobs) as pool:
+            if pool.active:
+                try:
+                    return pool.run(
+                        validate_strategy_task,
+                        [
+                            (job, name, strategy.options, oracle)
+                            for name, strategy in named
+                        ],
+                    )
+                except WorkerPoolError:
+                    pass
+    evaluator = StrategyEvaluator(job)
+    return [
+        validate_strategy(evaluator, strategy, name=name, oracle=oracle)
+        for name, strategy in named
+    ]
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     job = _build_job(args)
-    evaluator = StrategyEvaluator(job)
     oracle = not args.skip_oracle
     if args.strategy == "espresso":
-        selected = Espresso(job).select_strategy().strategy
-        reports = [
-            validate_strategy(evaluator, selected, name="espresso", oracle=oracle)
-        ]
+        selected = Espresso(job, jobs=args.jobs).select_strategy().strategy
+        named = [("espresso", selected)]
     elif args.strategy == "all":
-        reports = validate_job(job, oracle=oracle)
+        named = conformance_strategies(job.model.num_tensors)
     else:
         suite = dict(conformance_strategies(job.model.num_tensors))
-        reports = [
-            validate_strategy(
-                evaluator, suite[args.strategy], name=args.strategy, oracle=oracle
-            )
-        ]
+        named = [(args.strategy, suite[args.strategy])]
+    reports = _validate_suite(job, named, oracle, args.jobs)
 
     rows = []
     failures = 0

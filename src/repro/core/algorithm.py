@@ -25,10 +25,22 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.bubbles import DEFAULT_MIN_BUBBLE, tensors_before_bubbles
 from repro.core.options import CompressionOption, Device, canonical_key
+from repro.core.parallel import EvaluatorPool, best_priced, price_candidates
 from repro.core.plan import PlanCompiler
 from repro.core.strategy import CompressionStrategy, StrategyEvaluator
 from repro.core.tree import enumerate_options
 from repro.sim.stages import COMM
+
+#: Unified improvement threshold for GetBestOption and the refinement
+#: sweep.  Algorithm 1 used to accept any strictly smaller time while
+#: the sweep required an improvement beyond 1e-12; the mismatch made the
+#: search sensitive to float noise and to which phase saw a move first.
+#: A candidate only displaces the incumbent when it improves the best
+#: time by more than this; exact ties among candidates break by
+#: canonical option key (see :func:`repro.core.parallel.best_priced`),
+#: so the selected strategy is independent of candidate enumeration
+#: order — the precondition for the deterministic parallel merge.
+IMPROVEMENT_EPSILON = 1e-12
 
 
 def gpu_candidate_options(
@@ -121,6 +133,13 @@ class CandidatePrefilter:
     the :class:`~repro.core.espresso.Espresso` planner and threaded
     through all phases, computes each size's candidate list exactly once
     per job.
+
+    The per-size cache keys on ``num_elements`` *alone* — it is only
+    valid for phases searching exactly the candidate set this instance
+    was built from.  Sharing one prefilter between phases with different
+    candidate sets would silently serve the wrong lists; the phases
+    therefore call :meth:`ensure_compatible`, which turns that misuse
+    into a loud :class:`ValueError`.
     """
 
     def __init__(
@@ -133,6 +152,26 @@ class CandidatePrefilter:
         self.candidates = list(candidates)
         self.per_device = per_device
         self._cache: Dict[int, List[CompressionOption]] = {}
+        self._signature = tuple(canonical_key(o) for o in self.candidates)
+
+    def ensure_compatible(
+        self, candidates: Sequence[CompressionOption]
+    ) -> None:
+        """Raise ValueError unless ``candidates`` matches the build set.
+
+        Cached per-size lists depend only on tensor size, so serving a
+        phase that searches a different candidate set would be a silent
+        wrong-cache reuse — this check makes it a loud error instead.
+        """
+        signature = tuple(canonical_key(o) for o in candidates)
+        if signature != self._signature:
+            raise ValueError(
+                "CandidatePrefilter was built from a different candidate "
+                f"set ({len(self._signature)} options) than this phase "
+                f"searches ({len(signature)} options); build one "
+                "prefilter per candidate set — its per-size cache keys "
+                "on num_elements alone and cannot be shared across sets"
+            )
 
     def for_size(self, num_elements: int) -> List[CompressionOption]:
         """The (cached) surviving candidates for one tensor size."""
@@ -179,6 +218,7 @@ def gpu_compression_decision(
     min_bubble: float = DEFAULT_MIN_BUBBLE,
     prefilter_per_device: int = 3,
     prefilter: Optional[CandidatePrefilter] = None,
+    pool: Optional[EvaluatorPool] = None,
 ) -> GPUDecisionResult:
     """Run Algorithm 1 and return the GPU-compression strategy.
 
@@ -187,7 +227,10 @@ def gpu_compression_decision(
     A planner that runs several phases should build one
     :class:`CandidatePrefilter` and pass it as ``prefilter`` so the
     per-size filtering work is shared; when omitted, a private one is
-    built from ``candidates``/``prefilter_per_device``.
+    built from ``candidates``/``prefilter_per_device``.  An active
+    ``pool`` prices each tensor's candidates on per-worker evaluator
+    replicas; the deterministic merge keeps the result bit-identical to
+    the serial run.
     """
     if prefilter is None:
         if candidates is None:
@@ -195,6 +238,8 @@ def gpu_compression_decision(
         prefilter = CandidatePrefilter(
             evaluator.compiler, candidates, prefilter_per_device
         )
+    elif candidates is not None:
+        prefilter.ensure_compatible(candidates)
     evaluations_before = evaluator.evaluations
 
     strategy = evaluator.baseline()
@@ -220,12 +265,21 @@ def gpu_compression_decision(
                 continue
             # GetBestOption(): keep-current plus every candidate, priced
             # by delta-simulation against the resident base strategy.
+            # The candidate argmin is taken under the total order on
+            # (trial_time, canonical_key) and displaces the incumbent
+            # only past IMPROVEMENT_EPSILON, so the decision does not
+            # depend on candidate enumeration order.
             best_option = strategy[index]
-            for option in prefilter.for_size(
-                evaluator.model.tensors[index].num_elements
-            ):
-                trial_time = evaluator.iteration_time_delta(strategy, index, option)
-                if trial_time < best_time:
+            priced = price_candidates(
+                evaluator,
+                strategy,
+                index,
+                prefilter.for_size(evaluator.model.tensors[index].num_elements),
+                pool=pool,
+            )
+            if priced:
+                trial_time, _, option = best_priced(priced)
+                if trial_time < best_time - IMPROVEMENT_EPSILON:
                     best_time = trial_time
                     best_option = option
             strategy = strategy.replace(index, best_option)
@@ -246,6 +300,7 @@ def refinement_sweep(
     candidates: Sequence[CompressionOption],
     prefilter_per_device: int = 3,
     prefilter: Optional[CandidatePrefilter] = None,
+    pool: Optional[EvaluatorPool] = None,
 ) -> Tuple[CompressionStrategy, float, bool]:
     """One GetBestOption pass over *all* tensors in the final context.
 
@@ -259,6 +314,13 @@ def refinement_sweep(
     the *current* strategy, which breaks exactly that deadlock once
     Algorithm 2 has moved the compression load off the binding resource.
 
+    Candidates are compared to the resident option by *value*
+    (canonical key), never identity: an equal-but-distinct object (e.g.
+    a fresh ``no_compression_option()`` vs the resident one) is neither
+    re-priced nor "replaced".  The candidate argmin and acceptance
+    threshold are exactly Algorithm 1's (total order on
+    ``(trial_time, canonical_key)``, :data:`IMPROVEMENT_EPSILON`).
+
     Returns (strategy, iteration_time, improved).
     """
     from repro.core.options import no_compression_option
@@ -268,22 +330,31 @@ def refinement_sweep(
         prefilter = CandidatePrefilter(
             evaluator.compiler, candidates, prefilter_per_device
         )
+    else:
+        prefilter.ensure_compatible(candidates)
     best_time = evaluator.iteration_time(strategy)
     improved = False
     for group in sorted_tensor_groups(evaluator):
         for index in group:
-            options = prefilter.for_size(
-                evaluator.model.tensors[index].num_elements
+            resident_key = canonical_key(strategy[index])
+            options = [
+                option
+                for option in [
+                    *prefilter.for_size(
+                        evaluator.model.tensors[index].num_elements
+                    ),
+                    keep_plain,
+                ]
+                if canonical_key(option) != resident_key
+            ]
+            priced = price_candidates(
+                evaluator, strategy, index, options, pool=pool
             )
-            best_option = strategy[index]
-            for option in list(options) + [keep_plain]:
-                if option is best_option:
-                    continue
-                trial_time = evaluator.iteration_time_delta(strategy, index, option)
-                if trial_time < best_time - 1e-12:
-                    best_time = trial_time
-                    best_option = option
-                    improved = True
-            if best_option is not strategy[index]:
-                strategy = strategy.replace(index, best_option)
+            if not priced:
+                continue
+            trial_time, _, option = best_priced(priced)
+            if trial_time < best_time - IMPROVEMENT_EPSILON:
+                best_time = trial_time
+                strategy = strategy.replace(index, option)
+                improved = True
     return strategy, best_time, improved

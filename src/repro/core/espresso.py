@@ -21,7 +21,13 @@ from repro.core.algorithm import (
     refinement_sweep,
 )
 from repro.core.offload import OffloadResult, cpu_offload_decision
-from repro.core.options import CompressionOption, Device
+from repro.core.options import (
+    CompressionOption,
+    Device,
+    canonical_key,
+    no_compression_option,
+)
+from repro.core.parallel import EvaluatorPool
 from repro.core.presets import (
     double_compression_option,
     inter_allgather_option,
@@ -100,6 +106,8 @@ class Espresso:
         min_sweep_improvement: float = 0.003,
         fast_eval: bool = True,
         check: bool = False,
+        jobs: int = 1,
+        oversubscribe: bool = False,
     ):
         """Args:
         job: the three-config training job (model, GC, system).
@@ -124,8 +132,22 @@ class Espresso:
         check: run the simulator conformance invariant checker on every
             timeline the planner materializes (``plan --check``); any
             violation raises instead of producing a silently wrong plan.
+        jobs: worker-pool width for candidate pricing (``--jobs N``).
+            ``1`` (the default) runs fully in-process; ``N > 1`` fans
+            GetBestOption's per-tensor candidate pricing out to N
+            worker processes holding evaluator replicas.  The width is
+            clamped to the host's core count (extra processes on a
+            smaller machine would only add overhead).  The selected
+            strategy and iteration time are bit-identical for every N
+            (the deterministic fan-out/merge of DESIGN.md §5.5).
+        oversubscribe: skip the core-count clamp and spawn the full
+            ``jobs`` processes even on a smaller host.  The parallel
+            equivalence tests use this to exercise the real
+            multi-process merge path on any machine.
         """
         self.job = job
+        self.jobs = max(1, int(jobs))
+        self.oversubscribe = oversubscribe
         self.evaluator = StrategyEvaluator(job, fast=fast_eval, check=check)
         # The uniform-strategy portfolio uses the preset pipelines, which
         # only makes sense for the full default search space; a caller
@@ -147,9 +169,53 @@ class Espresso:
         self.refinement_sweeps = refinement_sweeps
         self.min_sweep_improvement = min_sweep_improvement
 
+    def _pool_vocab(self) -> List[CompressionOption]:
+        """Every option value the planner can assign during selection:
+        the candidate set, the FP32 option, and the portfolio presets.
+        Worker tasks encode strategies as positions into this list."""
+        vocab: List[CompressionOption] = []
+        seen = set()
+        extras = [no_compression_option()]
+        for builder in (
+            inter_allgather_option,
+            inter_alltoall_option,
+            double_compression_option,
+        ):
+            for device in (Device.GPU, Device.CPU):
+                extras.append(builder(device))
+        for option in [*self.candidates, *extras]:
+            key = canonical_key(option)
+            if key not in seen:
+                seen.add(key)
+                vocab.append(option)
+        return vocab
+
+    def _make_pool(self) -> Optional[EvaluatorPool]:
+        if self.jobs <= 1:
+            return None
+        return EvaluatorPool(
+            self.jobs,
+            job=self.job,
+            fast=self.evaluator.fast,
+            check=self.evaluator.check,
+            vocab=self._pool_vocab(),
+            oversubscribe=self.oversubscribe,
+        )
+
     def select_strategy(self) -> EspressoResult:
         """Run Algorithm 1 + Algorithm 2 and return the decision."""
+        pool = self._make_pool()
+        try:
+            return self._select_strategy(pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _select_strategy(self, pool: Optional[EvaluatorPool]) -> EspressoResult:
         baseline_time = self.evaluator.iteration_time(self.evaluator.baseline())
+        self.evaluator.stats.parallel_jobs = (
+            pool.jobs if pool is not None and pool.active else 1
+        )
 
         start = time.perf_counter()
         gpu_result = gpu_compression_decision(
@@ -157,6 +223,7 @@ class Espresso:
             candidates=self.candidates,
             prefilter_per_device=self.prefilter_per_device,
             prefilter=self.prefilter,
+            pool=pool,
         )
         gpu_seconds = time.perf_counter() - start
 
@@ -203,6 +270,7 @@ class Espresso:
                 self.candidates,
                 prefilter_per_device=self.prefilter_per_device,
                 prefilter=self.prefilter,
+                pool=pool,
             )
             sweeps_run += 1
             if not improved:

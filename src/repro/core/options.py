@@ -190,6 +190,16 @@ class CompressionOption:
     def __len__(self) -> int:
         return len(self.actions)
 
+    def __getstate__(self) -> dict:
+        # The memoized canonical key (see :func:`canonical_key`) is only
+        # meaningful inside the process whose interning table assigned
+        # it.  Strip it before pickling — a worker process re-interns the
+        # value against its own table; shipping the parent's key could
+        # alias a *different* value in the worker's caches.
+        state = dict(self.__dict__)
+        state.pop("_canonical_key", None)
+        return state
+
 
 #: Value-interning registry behind :func:`canonical_key`.  Options are
 #: small frozen dataclasses; keeping every distinct *value* alive forever

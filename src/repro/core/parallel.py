@@ -1,0 +1,435 @@
+"""Deterministic parallel execution layer for the strategy search.
+
+The planner's cost is dominated by embarrassingly-parallel batches of
+F(S) evaluations: GetBestOption prices every candidate option for one
+tensor, the brute-force baseline enumerates whole strategy spaces, the
+robust planner sweeps a perturbation ensemble, and the preset suites
+price many strategies on one job.  This module fans those batches out to
+a process pool — and, crucially, merges the results with a *total order*
+so the answer is bit-identical to the serial run (DESIGN.md §5.5).
+
+Determinism contract:
+
+* Workers never pick winners.  They return raw ``(position, time)``
+  pairs; the parent merges with :func:`best_priced`'s total order on
+  ``(trial_time, canonical_key)``.  Exact ties therefore resolve the
+  same way no matter how candidates were chunked or which worker
+  finished first — which is only sound because the serial algorithm
+  itself uses the same total order (the tie-breaking bugfixes in
+  :mod:`repro.core.algorithm` are a prerequisite, not an optimisation).
+* Canonical option keys are process-local (an interning table assigns
+  them by first encounter), so they never cross the process boundary:
+  tasks ship *positions* into a vocabulary shared at pool construction,
+  and every key used for merging is computed by the parent.
+* All simulation arithmetic is exact (the incremental engine is
+  bit-identical to the full simulator), so a worker replica's float
+  equals the parent's.
+
+Fallback: ``jobs <= 1``, a single-core host, an unpicklable job or
+vocabulary, or any pool breakage degrades to in-process execution —
+same results, one core.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.options import CompressionOption, canonical_key
+from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+#: Below this many candidates a fan-out's IPC overhead outweighs the
+#: win; the pricing helper stays in-process.
+MIN_FANOUT_CANDIDATES = 4
+
+#: A priced candidate: (trial iteration time, canonical option key,
+#: the option object).  Lists of these are what the merge orders.
+PricedOption = Tuple[float, int, CompressionOption]
+
+
+def available_cores() -> int:
+    """CPU cores this process may run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool cannot execute a batch; callers fall back to serial."""
+
+
+def best_priced(priced: Sequence[PricedOption]) -> PricedOption:
+    """The deterministic argmin: total order on (trial_time, key).
+
+    This single function is the merge contract shared by the serial loop
+    and every parallel fan-out — exact time ties break toward the
+    smaller canonical key, never toward enumeration or arrival order.
+    """
+    return min(priced, key=lambda entry: (entry[0], entry[1]))
+
+
+class WorkerPool:
+    """A process pool with deterministic ordered fan-out.
+
+    ``jobs <= 1`` never spawns processes (``active`` is False and every
+    consumer runs its serial path).  By default the requested width is
+    clamped to the host's core count: on a machine with fewer cores than
+    jobs, extra processes would just time-slice the same cores and every
+    fan-out would be pure overhead.  ``oversubscribe=True`` skips the
+    clamp — the equivalence tests use it to exercise the real
+    multi-process merge path regardless of the host.
+
+    Any failure to pickle tasks or to keep workers alive permanently
+    disables the pool — the batch that tripped it is re-run serially by
+    the caller, so results never depend on whether the pool worked.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+        oversubscribe: bool = False,
+    ):
+        #: The width the caller asked for (``--jobs N``).
+        self.requested_jobs = max(1, int(jobs))
+        #: The effective width after the core-count clamp.
+        self.jobs = self.requested_jobs
+        if not oversubscribe:
+            self.jobs = min(self.jobs, available_cores())
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self.disabled_reason: Optional[str] = None
+        if self.jobs < self.requested_jobs and self.jobs <= 1:
+            self.disabled_reason = (
+                f"requested {self.requested_jobs} jobs but only "
+                f"{available_cores()} core(s) available; running serial"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when batches will actually fan out to worker processes."""
+        return self.jobs > 1 and not self._broken
+
+    def disable(self, reason: str) -> None:
+        """Permanently degrade to serial execution (records why)."""
+        self._broken = True
+        self.disabled_reason = reason
+        self.close()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    def run(self, fn: Callable, tasks: Sequence) -> List:
+        """``[fn(t) for t in tasks]`` computed in workers, order kept.
+
+        Raises :class:`WorkerPoolError` (after disabling the pool) on
+        any failure — pickling, a dead worker, or an exception inside
+        ``fn`` — so the caller can re-run the batch serially.
+        """
+        tasks = list(tasks)
+        if not self.active:
+            raise WorkerPoolError(
+                self.disabled_reason or f"pool inactive (jobs={self.jobs})"
+            )
+        try:
+            return list(self._ensure_executor().map(fn, tasks))
+        except Exception as error:  # noqa: BLE001 - any failure => serial
+            self.disable(f"{type(error).__name__}: {error}")
+            raise WorkerPoolError(
+                f"worker pool failed ({self.disabled_reason}); "
+                "falling back to serial execution"
+            ) from error
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- evaluator-bound pools -------------------------------------------------
+
+
+class _EvalWorker:
+    """Per-process worker state: an evaluator replica plus the shared
+    option vocabulary.  The evaluator's own fast layer handles base
+    residency — when consecutive tasks share a base (the common case:
+    the greedy's base only changes on an *accepted* decision), pricing
+    is pure delta-simulation; a changed base costs one rebase, exactly
+    as it does in the parent.
+    """
+
+    def __init__(self, evaluator: StrategyEvaluator, vocab):
+        self.evaluator = evaluator
+        self.vocab = list(vocab)
+
+
+#: Installed by :func:`_init_evaluator_worker` in each pool process.
+_WORKER_STATE: Optional[_EvalWorker] = None
+
+
+def _init_evaluator_worker(blob: bytes) -> None:
+    """Process-pool initializer: build this worker's evaluator replica."""
+    global _WORKER_STATE
+    job, fast, check, vocab = pickle.loads(blob)
+    _WORKER_STATE = _EvalWorker(
+        StrategyEvaluator(job, fast=fast, check=check), vocab
+    )
+
+
+def _decode_option(
+    entry, vocab: Sequence[CompressionOption]
+) -> CompressionOption:
+    return vocab[entry] if isinstance(entry, int) else entry
+
+
+class EvaluatorPool(WorkerPool):
+    """A worker pool whose processes each hold a StrategyEvaluator
+    replica for one job, plus a shared option vocabulary.
+
+    Strategies and candidate lists are shipped as tuples of vocabulary
+    *positions* (raw option objects only for the rare value outside the
+    vocabulary), which keeps per-task payloads to a few hundred bytes
+    and keeps canonical keys from crossing the process boundary.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        job=None,
+        fast: bool = True,
+        check: bool = False,
+        vocab: Sequence[CompressionOption] = (),
+        oversubscribe: bool = False,
+    ):
+        self.vocab = list(vocab)
+        self._vocab_index = {
+            canonical_key(option): position
+            for position, option in enumerate(self.vocab)
+        }
+        if jobs > 1 and job is not None:
+            try:
+                blob = pickle.dumps(
+                    (job, fast, check, tuple(self.vocab)),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception as error:  # unpicklable config => in-process
+                super().__init__(1)
+                self.disabled_reason = (
+                    f"job/vocabulary not picklable ({error}); running serial"
+                )
+                return
+            super().__init__(
+                jobs,
+                initializer=_init_evaluator_worker,
+                initargs=(blob,),
+                oversubscribe=oversubscribe,
+            )
+        else:
+            super().__init__(1)
+
+    def encode_options(self, options: Sequence[CompressionOption]) -> Tuple:
+        """Options as vocabulary positions (raw objects off-vocabulary)."""
+        return tuple(
+            self._vocab_index.get(canonical_key(option), option)
+            for option in options
+        )
+
+
+def _price_task(task):
+    """Worker: price a chunk of candidate options for one tensor."""
+    encoded_base, index, encoded_options = task
+    worker = _WORKER_STATE
+    vocab = worker.vocab
+    evaluator = worker.evaluator
+    base = CompressionStrategy(
+        options=tuple(_decode_option(entry, vocab) for entry in encoded_base)
+    )
+    before = evaluator.evaluations
+    times = [
+        evaluator.iteration_time_delta(base, index, _decode_option(entry, vocab))
+        for entry in encoded_options
+    ]
+    return times, evaluator.evaluations - before, os.getpid()
+
+
+def price_candidates(
+    evaluator: StrategyEvaluator,
+    base: CompressionStrategy,
+    index: int,
+    options: Sequence[CompressionOption],
+    pool: Optional[EvaluatorPool] = None,
+) -> List[PricedOption]:
+    """Price every candidate for tensor ``index`` against ``base``.
+
+    Returns ``[(trial_time, canonical_key, option), ...]`` — the input
+    of :func:`best_priced`.  With an active pool and enough candidates
+    the pricing fans out to per-worker evaluator replicas; results are
+    bit-identical to the in-process path (exact simulation both sides),
+    and all keys are computed by the calling process.
+    """
+    options = list(options)
+    if (
+        pool is None
+        or not pool.active
+        or len(options) < MIN_FANOUT_CANDIDATES
+    ):
+        return [
+            (
+                evaluator.iteration_time_delta(base, index, option),
+                canonical_key(option),
+                option,
+            )
+            for option in options
+        ]
+    try:
+        return _price_parallel(evaluator, base, index, options, pool)
+    except WorkerPoolError:
+        return price_candidates(evaluator, base, index, options, pool=None)
+
+
+def _price_parallel(
+    evaluator: StrategyEvaluator,
+    base: CompressionStrategy,
+    index: int,
+    options: List[CompressionOption],
+    pool: EvaluatorPool,
+) -> List[PricedOption]:
+    stats = evaluator.stats
+    encoded_base = pool.encode_options(base.options)
+    encoded = pool.encode_options(options)
+    step = -(-len(options) // pool.jobs)  # ceil division
+    spans = [
+        (start, min(start + step, len(options)))
+        for start in range(0, len(options), step)
+    ]
+    # A blocking map, not submit-and-overlap: a parent that keeps
+    # computing between submit and collect holds the GIL and starves the
+    # executor's feeder thread, adding milliseconds of dispatch latency
+    # per batch.  Blocked on the map, the parent releases the GIL and
+    # the round-trip drops to its IPC floor.
+    fanout_start = time.perf_counter()
+    results = pool.run(
+        _price_task,
+        [(encoded_base, index, encoded[a:b]) for a, b in spans],
+    )
+    stats.fanout_seconds += time.perf_counter() - fanout_start
+    merge_start = time.perf_counter()
+    priced: List[PricedOption] = []
+    for (a, b), (times, worker_evals, worker_pid) in zip(spans, results):
+        for option, trial_time in zip(options[a:b], times):
+            priced.append((trial_time, canonical_key(option), option))
+        evaluator.evaluations += worker_evals
+        pid = str(worker_pid)
+        stats.worker_evaluations[pid] = (
+            stats.worker_evaluations.get(pid, 0) + worker_evals
+        )
+    stats.parallel_tasks += len(spans)
+    stats.merge_seconds += time.perf_counter() - merge_start
+    return priced
+
+
+# -- brute-force enumeration fan-out ---------------------------------------
+
+
+def _bruteforce_range_task(task):
+    """Worker: evaluate one contiguous slice of the |C|^N enumeration.
+
+    Enumeration index ``i`` maps to the i-th element of
+    ``itertools.product(vocab, repeat=n)`` (last tensor varies fastest);
+    the local winner keeps the *smallest* index on exact time ties,
+    matching the serial first-strictly-smaller scan.
+    """
+    start, stop, n = task
+    evaluator, vocab = _WORKER_STATE.evaluator, _WORKER_STATE.vocab
+    k = len(vocab)
+    weights = [k ** (n - 1 - j) for j in range(n)]
+    before = evaluator.evaluations
+    best_time: Optional[float] = None
+    best_index = -1
+    for i in range(start, stop):
+        combo = tuple(vocab[(i // weight) % k] for weight in weights)
+        trial = evaluator.iteration_time(CompressionStrategy(options=combo))
+        if best_time is None or trial < best_time:
+            best_time, best_index = trial, i
+    return best_time, best_index, evaluator.evaluations - before, os.getpid()
+
+
+# -- stateless fan-outs (robust sweeps, preset suites) ---------------------
+
+
+def sweep_member_task(task):
+    """Worker: price all strategies on one (possibly faulted) job.
+
+    Task: ``(job, check, [(name, options_tuple), ...])``.  Returns
+    ``([(name, iteration_time), ...], timelines_checked)``.
+    """
+    job, check, named_options = task
+    evaluator = StrategyEvaluator(job, check=check)
+    results = []
+    for name, options in named_options:
+        strategy = CompressionStrategy(options=tuple(options))
+        value = evaluator.iteration_time(strategy)
+        if check:
+            evaluator.timeline(strategy)
+        results.append((name, value))
+    return results, evaluator.timelines_checked
+
+
+def plan_member_task(job):
+    """Worker: one full (serial) planner run; returns the option tuple."""
+    from repro.core.espresso import Espresso  # circular-import guard
+
+    return Espresso(job).select_strategy().strategy.options
+
+
+def run_system_task(task):
+    """Worker: run one baseline system on a job (``compare`` fan-out).
+
+    Task: ``(system_cls, job)``; returns the system's
+    :class:`~repro.baselines.base.BaselineResult`.
+    """
+    system_cls, job = task
+    return system_cls().run(job)
+
+
+def validate_strategy_task(task):
+    """Worker: full conformance battery for one named strategy.
+
+    Task: ``(job, name, options_tuple, oracle)``; returns the
+    :class:`~repro.core.conformance.StrategyConformance` report.
+    """
+    from repro.core.conformance import validate_strategy  # circular import
+
+    job, name, options, oracle = task
+    return validate_strategy(
+        StrategyEvaluator(job),
+        CompressionStrategy(options=tuple(options)),
+        name=name,
+        oracle=oracle,
+    )

@@ -31,6 +31,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
 from repro.core.options import Device
+from repro.core.parallel import (
+    WorkerPool,
+    WorkerPoolError,
+    plan_member_task,
+    sweep_member_task,
+)
 from repro.core.presets import (
     double_compression_option,
     inter_allgather_option,
@@ -129,11 +135,51 @@ class SensitivityReport:
         raise KeyError(name)
 
 
+def _sweep_members_parallel(
+    job: JobConfig,
+    strategies: Sequence[Tuple[str, CompressionStrategy]],
+    ensemble: Sequence[FaultModel],
+    check: bool,
+    jobs: int,
+    oversubscribe: bool,
+) -> Optional[List]:
+    """Fan the per-member pricing out to a worker pool.
+
+    Returns the ordered per-member results of
+    :func:`~repro.core.parallel.sweep_member_task`, or ``None`` when the
+    pool is unavailable (serial fallback).  Each member's prices are
+    computed by exactly one process with its own evaluator, so the
+    values are identical to the serial loop's.
+    """
+    if jobs <= 1 or len(ensemble) <= 1:
+        return None
+    named_options = [
+        (name, strategy.options) for name, strategy in strategies
+    ]
+    tasks = [
+        (
+            job if fault_model.is_nominal else fault_model.apply_to_job(job),
+            check,
+            named_options,
+        )
+        for fault_model in ensemble
+    ]
+    with WorkerPool(jobs, oversubscribe=oversubscribe) as pool:
+        if not pool.active:
+            return None
+        try:
+            return pool.run(sweep_member_task, tasks)
+        except WorkerPoolError:
+            return None
+
+
 def sensitivity_sweep(
     job: JobConfig,
     strategies: Sequence[Tuple[str, CompressionStrategy]],
     ensemble: Optional[Sequence[FaultModel]] = None,
     check: bool = False,
+    jobs: int = 1,
+    oversubscribe: bool = False,
 ) -> SensitivityReport:
     """Evaluate ``strategies`` on every ensemble member of ``job``.
 
@@ -141,6 +187,9 @@ def sensitivity_sweep(
     ``check=True`` every faulted timeline additionally runs the full
     invariant battery (raising
     :class:`~repro.sim.validate.ConformanceError` on any violation).
+    With ``jobs > 1`` the ensemble members are priced by a worker pool,
+    one member per task — the report is identical to the serial sweep
+    (each member is still priced by a single evaluator).
     """
     if ensemble is None:
         ensemble = default_ensemble()
@@ -154,19 +203,30 @@ def sensitivity_sweep(
     nominal: Dict[str, float] = {}
     nominal_evaluator = StrategyEvaluator(job, check=check)
     checked = 0
-    for fault_model in ensemble:
-        if fault_model.is_nominal:
-            evaluator = nominal_evaluator
-        else:
-            evaluator = StrategyEvaluator(
-                fault_model.apply_to_job(job), check=check
-            )
-        for name, strategy in strategies:
-            value = evaluator.iteration_time(strategy)
-            if check:
-                evaluator.timeline(strategy)
-            times[name].append((fault_model.name, value))
-        checked += evaluator.timelines_checked
+    member_results = _sweep_members_parallel(
+        job, strategies, ensemble, check, jobs, oversubscribe
+    )
+    if member_results is not None:
+        for fault_model, (member_times, member_checked) in zip(
+            ensemble, member_results
+        ):
+            for name, value in member_times:
+                times[name].append((fault_model.name, value))
+            checked += member_checked
+    else:
+        for fault_model in ensemble:
+            if fault_model.is_nominal:
+                evaluator = nominal_evaluator
+            else:
+                evaluator = StrategyEvaluator(
+                    fault_model.apply_to_job(job), check=check
+                )
+            for name, strategy in strategies:
+                value = evaluator.iteration_time(strategy)
+                if check:
+                    evaluator.timeline(strategy)
+                times[name].append((fault_model.name, value))
+            checked += evaluator.timelines_checked
     for name, strategy in strategies:
         nominal[name] = nominal_evaluator.iteration_time(strategy)
     return SensitivityReport(
@@ -272,6 +332,8 @@ def robust_select(
     cvar_alpha: float = 0.25,
     planner_factory: Optional[Callable[[JobConfig], object]] = None,
     check: bool = False,
+    jobs: int = 1,
+    oversubscribe: bool = False,
 ) -> RobustPlanResult:
     """Select the strategy minimizing a robust objective over ``ensemble``.
 
@@ -286,6 +348,14 @@ def robust_select(
         planner_factory: ``job -> planner`` override (tests inject a
             cheaper configuration); defaults to
             :class:`~repro.core.espresso.Espresso` with stock settings.
+        jobs: worker-pool width.  With the stock planner the per-member
+            planner runs fan out one member per process, and the final
+            sensitivity sweep prices members in parallel; a custom
+            ``planner_factory`` keeps the planner runs in-process (the
+            factory need not be picklable) but still parallelizes the
+            sweep.  Results are identical for every width.
+        oversubscribe: skip the worker pools' core-count clamp (see
+            :class:`~repro.core.parallel.WorkerPool`).
     """
     from repro.core.espresso import Espresso  # circular-import guard
 
@@ -294,6 +364,7 @@ def robust_select(
     if not ensemble:
         raise ValueError("ensemble must have at least one member")
     score = _objective_fn(objective, cvar_alpha)
+    stock_planner = planner_factory is None
     if planner_factory is None:
         planner_factory = Espresso
 
@@ -303,16 +374,40 @@ def robust_select(
     candidates: List[Tuple[str, CompressionStrategy]] = [
         ("espresso-nominal", default_strategy)
     ]
-    for fault_model in ensemble:
-        if fault_model.is_nominal:
-            continue
-        perturbed = fault_model.apply_to_job(job)
-        candidates.append(
-            (
-                f"espresso-{fault_model.name}",
-                planner_factory(perturbed).select_strategy().strategy,
+    perturbed_members = [
+        fault_model for fault_model in ensemble if not fault_model.is_nominal
+    ]
+    member_options = None
+    if stock_planner and jobs > 1 and len(perturbed_members) > 1:
+        with WorkerPool(jobs, oversubscribe=oversubscribe) as pool:
+            if pool.active:
+                try:
+                    member_options = pool.run(
+                        plan_member_task,
+                        [
+                            fault_model.apply_to_job(job)
+                            for fault_model in perturbed_members
+                        ],
+                    )
+                except WorkerPoolError:
+                    member_options = None
+    if member_options is not None:
+        for fault_model, options in zip(perturbed_members, member_options):
+            candidates.append(
+                (
+                    f"espresso-{fault_model.name}",
+                    CompressionStrategy(options=tuple(options)),
+                )
             )
-        )
+    else:
+        for fault_model in perturbed_members:
+            perturbed = fault_model.apply_to_job(job)
+            candidates.append(
+                (
+                    f"espresso-{fault_model.name}",
+                    planner_factory(perturbed).select_strategy().strategy,
+                )
+            )
     candidates.extend(_portfolio_candidates(job.model.num_tensors))
 
     # Deduplicate by fingerprint, keeping first names (planner-derived
@@ -326,7 +421,14 @@ def robust_select(
         seen.add(fp)
         unique.append((name, strategy))
 
-    report = sensitivity_sweep(job, unique, ensemble=ensemble, check=check)
+    report = sensitivity_sweep(
+        job,
+        unique,
+        ensemble=ensemble,
+        check=check,
+        jobs=jobs,
+        oversubscribe=oversubscribe,
+    )
 
     def entry_key(entry: StrategySensitivity) -> Tuple[float, float, str]:
         return (

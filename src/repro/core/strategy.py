@@ -17,7 +17,7 @@ bit-identical to the full simulation, only cheaper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
@@ -108,6 +108,15 @@ class CompressionStrategy:
             f"T{i}: {option.describe()}" for i, option in enumerate(self.options)
         )
 
+    def __getstate__(self) -> dict:
+        # The cached fingerprint is a tuple of process-local canonical
+        # keys (see options.canonical_key); a worker process must
+        # recompute it against its own interning table, so strip it
+        # before pickling.
+        state = dict(self.__dict__)
+        state.pop("_fingerprint", None)
+        return state
+
 
 def baseline_strategy(num_tensors: int, flat: bool = False) -> CompressionStrategy:
     """The FP32 strategy: no tensor compressed (Algorithm 1's initial S)."""
@@ -129,6 +138,13 @@ class EvaluatorStats:
         events_full: completion events processed by full/base simulations.
         events_replayed: completion events processed during swap replays.
         events_reused: completion events skipped via checkpoint restore.
+        parallel_jobs: worker-pool width the planner ran with (1 = serial).
+        parallel_tasks: fan-out tasks shipped to the worker pool.
+        fanout_seconds: wall-clock spent waiting on fanned-out pricing.
+        merge_seconds: wall-clock spent decoding/merging worker results.
+        worker_evaluations: F(S) evaluations performed per worker process
+            (keyed by worker pid as a string; these are *not* folded into
+            ``fs_calls``, which describes this process's own evaluator).
     """
 
     fs_calls: int = 0
@@ -140,6 +156,11 @@ class EvaluatorStats:
     events_full: int = 0
     events_replayed: int = 0
     events_reused: int = 0
+    parallel_jobs: int = 1
+    parallel_tasks: int = 0
+    fanout_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    worker_evaluations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -155,7 +176,9 @@ class EvaluatorStats:
 
     def snapshot(self) -> "EvaluatorStats":
         """An independent copy (results keep a frozen-in-time view)."""
-        return replace(self)
+        snap = replace(self)
+        snap.worker_evaluations = dict(self.worker_evaluations)
+        return snap
 
 
 class StrategyEvaluator:

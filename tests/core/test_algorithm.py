@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core.algorithm import (
+    IMPROVEMENT_EPSILON,
+    CandidatePrefilter,
     device_candidate_options,
     gpu_candidate_options,
     gpu_compression_decision,
@@ -10,7 +12,8 @@ from repro.core.algorithm import (
     refinement_sweep,
     sorted_tensor_groups,
 )
-from repro.core.options import Device
+from repro.core.options import Device, canonical_key, no_compression_option
+from repro.core.parallel import best_priced
 from repro.models import synthetic_model
 from repro.config import GCInfo, JobConfig, SystemInfo
 from repro.core.strategy import StrategyEvaluator
@@ -105,6 +108,110 @@ def test_refinement_sweep_never_regresses(medium_evaluator):
     assert swept_time <= result.iteration_time + 1e-12
     if not improved:
         assert swept_time == pytest.approx(result.iteration_time)
+
+
+def test_refinement_sweep_compares_residents_by_value(medium_evaluator):
+    """Regression: the sweep used to compare candidates to the resident
+    option by identity (``option is best_option``), so a value-equal but
+    distinct object — e.g. a fresh ``no_compression_option()`` vs the
+    baseline's resident one — was re-priced for every tensor.  With the
+    value (canonical key) comparison, a candidate set that only contains
+    the resident option prices nothing at all."""
+    base = medium_evaluator.baseline()
+    before = medium_evaluator.evaluations
+    swept, swept_time, improved = refinement_sweep(
+        medium_evaluator, base, [no_compression_option()]
+    )
+    assert not improved
+    assert swept.options == base.options
+    # Exactly one F(S) call: the initial pricing of the base itself.
+    # Under the identity bug this was 1 + 2 per tensor (the prefiltered
+    # copy and the appended keep-plain both survived the filter).
+    assert medium_evaluator.evaluations - before == 1
+
+
+def test_best_priced_breaks_time_ties_by_canonical_key():
+    """Exact time ties resolve by canonical option key, not input order."""
+    from repro.core.presets import inter_allgather_option, inter_alltoall_option
+
+    a = inter_allgather_option(Device.GPU)
+    b = inter_alltoall_option(Device.GPU)
+    priced = [(1.0, canonical_key(a), a), (1.0, canonical_key(b), b)]
+    winner_key = min(canonical_key(a), canonical_key(b))
+    assert best_priced(priced)[1] == winner_key
+    assert best_priced(list(reversed(priced)))[1] == winner_key
+    # A strictly better time always beats a smaller key.
+    c = (0.5, max(canonical_key(a), canonical_key(b)), b)
+    assert best_priced(priced + [c]) == c
+
+
+def test_tie_break_independent_of_candidate_order(medium_job, monkeypatch):
+    """When every candidate prices identically, the sweep must pick the
+    same option regardless of candidate enumeration order (regression:
+    the serial loops used to keep the first enumerated improvement)."""
+    candidates = device_candidate_options()
+    outcomes = []
+    for ordered in (candidates, list(reversed(candidates))):
+        evaluator = StrategyEvaluator(medium_job)
+        base = evaluator.baseline()
+        tied_time = evaluator.iteration_time(base) - 1.0
+        monkeypatch.setattr(
+            evaluator,
+            "iteration_time_delta",
+            lambda b, i, o, _t=tied_time: _t,
+        )
+        swept, swept_time, improved = refinement_sweep(
+            evaluator, base, ordered, prefilter_per_device=0
+        )
+        assert improved
+        outcomes.append(tuple(canonical_key(o) for o in swept.options))
+    assert outcomes[0] == outcomes[1]
+    # And the winner is the canonical-key minimum of the tied field.
+    chosen = [k for k in outcomes[0] if k != canonical_key(no_compression_option())]
+    assert chosen
+    assert chosen[0] == min(canonical_key(o) for o in candidates)
+
+
+def test_sub_epsilon_improvement_is_rejected(medium_evaluator, monkeypatch):
+    """Both decision loops share IMPROVEMENT_EPSILON: a move improving
+    the incumbent by less than it never displaces the strategy."""
+    base = medium_evaluator.baseline()
+    best = medium_evaluator.iteration_time(base)
+    monkeypatch.setattr(
+        medium_evaluator,
+        "iteration_time_delta",
+        lambda b, i, o: best - IMPROVEMENT_EPSILON / 2,
+    )
+    swept, swept_time, improved = refinement_sweep(
+        medium_evaluator, base, device_candidate_options()
+    )
+    assert not improved
+    assert swept.options == base.options
+    assert swept_time == best
+
+
+def test_prefilter_rejects_mismatched_candidate_set(medium_evaluator):
+    """The per-size cache keys on num_elements alone, so serving a phase
+    with a different candidate set must be a loud error."""
+    prefilter = CandidatePrefilter(
+        medium_evaluator.compiler, device_candidate_options()
+    )
+    prefilter.ensure_compatible(device_candidate_options())  # same set: ok
+    with pytest.raises(ValueError, match="different candidate set"):
+        prefilter.ensure_compatible(gpu_candidate_options())
+    with pytest.raises(ValueError, match="different candidate set"):
+        gpu_compression_decision(
+            medium_evaluator,
+            candidates=gpu_candidate_options(),
+            prefilter=prefilter,
+        )
+    with pytest.raises(ValueError, match="different candidate set"):
+        refinement_sweep(
+            medium_evaluator,
+            medium_evaluator.baseline(),
+            gpu_candidate_options(),
+            prefilter=prefilter,
+        )
 
 
 def test_compute_bound_job_declines_compression(small_cluster):

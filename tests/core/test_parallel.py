@@ -1,0 +1,262 @@
+"""Deterministic parallel execution layer tests (DESIGN.md §5.5).
+
+The pools here run with ``oversubscribe=True`` on purpose: the default
+core-count clamp would otherwise deactivate them on a single-core CI
+host and every "parallel" assertion would silently exercise the serial
+path.  Oversubscribed pools cost wall-clock, not correctness — the
+merge contract is what these tests pin down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_search
+from repro.core.algorithm import device_candidate_options
+from repro.core.espresso import Espresso
+from repro.core.options import canonical_key, no_compression_option
+from repro.core.parallel import (
+    MIN_FANOUT_CANDIDATES,
+    EvaluatorPool,
+    WorkerPool,
+    WorkerPoolError,
+    available_cores,
+    best_priced,
+    price_candidates,
+)
+from repro.core.presets import inter_allgather_option
+from repro.core.robust import robust_select, sensitivity_sweep
+from repro.core.strategy import (
+    CompressionStrategy,
+    StrategyEvaluator,
+    baseline_strategy,
+)
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.options import Device
+from repro.models import synthetic_model
+from repro.utils.units import MB, MS
+
+
+def _boom(task):
+    raise ValueError(f"worker failure for {task!r}")
+
+
+@pytest.fixture
+def bruteforce_job(small_cluster):
+    """Two tensors x three options: a 16-strategy enumeration."""
+    model = synthetic_model(
+        "bf", [(int(48 * MB / 4), 8 * MS), (int(16 * MB / 4), 6 * MS)]
+    )
+    return JobConfig(
+        model=model,
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=small_cluster),
+    )
+
+
+# -- WorkerPool mechanics --------------------------------------------------
+
+
+def test_available_cores_positive():
+    assert available_cores() >= 1
+
+
+def test_single_job_pool_is_inactive():
+    pool = WorkerPool(1)
+    assert not pool.active
+    with pytest.raises(WorkerPoolError):
+        pool.run(abs, [1])
+
+
+def test_pool_clamps_requested_jobs_to_core_count():
+    requested = available_cores() + 7
+    pool = WorkerPool(requested)
+    assert pool.requested_jobs == requested
+    assert pool.jobs <= available_cores()
+    if pool.jobs <= 1:
+        assert not pool.active
+        assert "core" in pool.disabled_reason
+
+
+def test_oversubscribed_pool_runs_and_keeps_order():
+    with WorkerPool(2, oversubscribe=True) as pool:
+        assert pool.jobs == 2
+        assert pool.active
+        assert pool.run(abs, [-3, 4, -5]) == [3, 4, 5]
+
+
+def test_pool_failure_disables_permanently():
+    with WorkerPool(2, oversubscribe=True) as pool:
+        with pytest.raises(WorkerPoolError):
+            pool.run(_boom, [1, 2])
+        assert not pool.active
+        assert "ValueError" in pool.disabled_reason
+
+
+def test_evaluator_pool_degrades_on_unpicklable_job():
+    pool = EvaluatorPool(2, job=lambda: None, vocab=[])
+    assert not pool.active
+    assert pool.jobs == 1
+    assert "picklable" in pool.disabled_reason
+
+
+def test_best_priced_total_order():
+    plain = no_compression_option()
+    entries = [
+        (2.0, canonical_key(plain), plain),
+        (1.0, 99, plain),
+        (1.0, 7, plain),
+    ]
+    assert best_priced(entries) == (1.0, 7, plain)
+    assert best_priced(list(reversed(entries))) == (1.0, 7, plain)
+
+
+# -- candidate pricing -----------------------------------------------------
+
+
+def _pricing_pool(job, candidates, jobs=2):
+    return EvaluatorPool(
+        jobs,
+        job=job,
+        fast=True,
+        check=False,
+        vocab=[*candidates, no_compression_option()],
+        oversubscribe=True,
+    )
+
+
+def test_price_candidates_parallel_matches_serial(medium_job):
+    candidates = device_candidate_options()
+    assert len(candidates) >= MIN_FANOUT_CANDIDATES
+    serial_evaluator = StrategyEvaluator(medium_job)
+    base = serial_evaluator.baseline()
+    serial = price_candidates(serial_evaluator, base, 3, candidates)
+
+    parallel_evaluator = StrategyEvaluator(medium_job)
+    with _pricing_pool(medium_job, candidates) as pool:
+        assert pool.active
+        parallel = price_candidates(
+            parallel_evaluator, parallel_evaluator.baseline(), 3,
+            candidates, pool=pool,
+        )
+    assert parallel == serial  # bit-identical times, same keys, same objects
+    assert best_priced(parallel) == best_priced(serial)
+
+
+def test_parallel_pricing_populates_stats_and_eval_counts(medium_job):
+    candidates = device_candidate_options()
+    evaluator = StrategyEvaluator(medium_job)
+    base = evaluator.baseline()
+    with _pricing_pool(medium_job, candidates) as pool:
+        price_candidates(evaluator, base, 0, candidates, pool=pool)
+    stats = evaluator.stats
+    assert stats.parallel_tasks >= 2  # one span per worker
+    assert stats.fanout_seconds > 0.0
+    worker_total = sum(stats.worker_evaluations.values())
+    assert worker_total == len(candidates)
+    # Worker evaluations are folded into the parent's Table-5 counter.
+    assert evaluator.evaluations >= worker_total
+
+
+def test_small_batches_stay_in_process(medium_job):
+    evaluator = StrategyEvaluator(medium_job)
+    base = evaluator.baseline()
+    few = device_candidate_options()[: MIN_FANOUT_CANDIDATES - 1]
+    with _pricing_pool(medium_job, device_candidate_options()) as pool:
+        price_candidates(evaluator, base, 0, few, pool=pool)
+    assert evaluator.stats.parallel_tasks == 0
+
+
+def test_broken_pool_falls_back_to_serial_pricing(medium_job):
+    candidates = device_candidate_options()
+    evaluator = StrategyEvaluator(medium_job)
+    base = evaluator.baseline()
+    serial = price_candidates(evaluator, base, 0, candidates)
+    with _pricing_pool(medium_job, candidates) as pool:
+        pool.disable("injected breakage")
+        fallback = price_candidates(
+            evaluator, base, 0, candidates, pool=pool
+        )
+    assert fallback == serial
+
+
+# -- whole-planner equivalence ---------------------------------------------
+
+
+def test_espresso_parallel_bit_identical(medium_job):
+    serial = Espresso(medium_job).select_strategy()
+    parallel = Espresso(
+        medium_job, jobs=2, oversubscribe=True
+    ).select_strategy()
+    assert parallel.strategy.options == serial.strategy.options
+    assert parallel.iteration_time == serial.iteration_time
+    assert parallel.stats.parallel_jobs == 2
+    assert parallel.stats.parallel_tasks > 0
+    assert serial.stats.parallel_jobs == 1
+
+
+def test_espresso_clamps_jobs_by_default(medium_job):
+    requested = available_cores() + 3
+    result = Espresso(medium_job, jobs=requested).select_strategy()
+    assert result.stats.parallel_jobs <= available_cores()
+    serial = Espresso(medium_job).select_strategy()
+    assert result.strategy.options == serial.strategy.options
+    assert result.iteration_time == serial.iteration_time
+
+
+# -- brute-force fan-out ---------------------------------------------------
+
+
+def test_bruteforce_parallel_matches_serial(bruteforce_job):
+    candidates = [
+        inter_allgather_option(Device.GPU),
+        inter_allgather_option(Device.CPU),
+        no_compression_option(),
+    ]
+    serial_eval = StrategyEvaluator(bruteforce_job)
+    serial = brute_force_search(serial_eval, candidates)
+    parallel_eval = StrategyEvaluator(bruteforce_job)
+    parallel = brute_force_search(
+        parallel_eval, candidates, jobs=2, oversubscribe=True
+    )
+    assert parallel.iteration_time == serial.iteration_time
+    assert (
+        tuple(canonical_key(o) for o in parallel.strategy.options)
+        == tuple(canonical_key(o) for o in serial.strategy.options)
+    )
+    # Both scans price every combo exactly once: 3^2 = 9 evaluations.
+    assert parallel.evaluations == serial.evaluations == 9
+    assert parallel_eval.evaluations == serial_eval.evaluations
+
+
+# -- robust-planning fan-outs ----------------------------------------------
+
+
+def test_sensitivity_sweep_parallel_matches_serial(medium_job):
+    n = medium_job.model.num_tensors
+    strategies = [
+        ("fp32", baseline_strategy(n)),
+        (
+            "uniform-allgather-gpu",
+            CompressionStrategy(
+                options=(inter_allgather_option(Device.GPU),) * n
+            ),
+        ),
+    ]
+    serial = sensitivity_sweep(medium_job, strategies, check=True)
+    parallel = sensitivity_sweep(
+        medium_job, strategies, check=True, jobs=2, oversubscribe=True
+    )
+    assert parallel.fault_names == serial.fault_names
+    assert parallel.strategies == serial.strategies
+    assert parallel.timelines_checked == serial.timelines_checked
+
+
+def test_robust_select_parallel_matches_serial(tiny_job):
+    serial = robust_select(tiny_job)
+    parallel = robust_select(tiny_job, jobs=2, oversubscribe=True)
+    assert parallel.strategy.options == serial.strategy.options
+    assert parallel.objective_value == serial.objective_value
+    assert parallel.candidate_name == serial.candidate_name
+    assert parallel.candidates_evaluated == serial.candidates_evaluated
+    assert parallel.per_fault_times == serial.per_fault_times

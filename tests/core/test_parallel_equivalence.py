@@ -1,0 +1,115 @@
+"""Property tests: ``--jobs N`` is bit-identical to the serial planner.
+
+The determinism contract of DESIGN.md §5.5, checked end to end: for any
+job and any worker count, the parallel planner selects the same strategy
+(option for option), reports the same iteration time, and materializes
+the same timeline as ``jobs=1``.  Pools run ``oversubscribe=True`` so
+the multi-process merge path is exercised even on a single-core host
+(where the default clamp would silently fall back to serial).
+
+The random-job property uses small synthetic models to keep the fork +
+replica cost per example low; the slow-marked zoo sweep covers the real
+models (scripts/check.sh runs it nightly).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.espresso import Espresso
+from repro.core.robust import robust_select
+from repro.core.strategy import StrategyEvaluator
+from repro.models import available_models, get_model, synthetic_model
+from repro.utils.units import MB, MS
+
+_GC_CHOICES = (
+    GCInfo("dgc", {"ratio": 0.01}),
+    GCInfo("efsignsgd"),
+    GCInfo("randomk", {"ratio": 0.01}),
+)
+_SIZES_MB = (0.5, 2, 8, 32, 96)
+
+tensor_specs = st.lists(
+    st.tuples(st.sampled_from(_SIZES_MB), st.integers(2, 10)),
+    min_size=2,
+    max_size=5,
+)
+gc_indices = st.integers(0, len(_GC_CHOICES) - 1)
+worker_counts = st.sampled_from([2, 4])
+nvlink = st.booleans()
+
+
+def _job(specs, gc_index, use_nvlink):
+    model = synthetic_model(
+        "prop",
+        [(int(size_mb * MB / 4), compute * MS) for size_mb, compute in specs],
+    )
+    cluster = (
+        nvlink_100g_cluster(num_machines=2, gpus_per_machine=4)
+        if use_nvlink
+        else pcie_25g_cluster(num_machines=2, gpus_per_machine=4)
+    )
+    return JobConfig(
+        model=model,
+        gc=_GC_CHOICES[gc_index],
+        system=SystemInfo(cluster=cluster),
+    )
+
+
+def _assert_identical(job, jobs, check=False):
+    serial = Espresso(job, check=check).select_strategy()
+    parallel = Espresso(
+        job, check=check, jobs=jobs, oversubscribe=True
+    ).select_strategy()
+    assert parallel.strategy.options == serial.strategy.options
+    assert parallel.iteration_time == serial.iteration_time
+    assert parallel.baseline_iteration_time == serial.baseline_iteration_time
+    # Same strategy through the same simulator: the materialized
+    # timelines must be event-for-event identical.
+    evaluator = StrategyEvaluator(job)
+    assert evaluator.timeline(parallel.strategy) == evaluator.timeline(
+        serial.strategy
+    )
+    return serial, parallel
+
+
+@given(tensor_specs, gc_indices, nvlink, worker_counts)
+@settings(max_examples=6, deadline=None)
+def test_parallel_planner_bit_identical_on_random_jobs(
+    specs, gc_index, use_nvlink, jobs
+):
+    _assert_identical(_job(specs, gc_index, use_nvlink), jobs)
+
+
+def test_parallel_planner_bit_identical_with_check(tiny_job):
+    """`plan --check --jobs N`: the invariant checker stays green and
+    changes nothing about the selection."""
+    _assert_identical(tiny_job, jobs=2, check=True)
+
+
+def test_parallel_robust_bit_identical(tiny_job):
+    """`plan --robust --jobs N`: member plans and the ensemble sweep fan
+    out, the decision does not move."""
+    serial = robust_select(tiny_job)
+    for jobs in (2, 4):
+        parallel = robust_select(tiny_job, jobs=jobs, oversubscribe=True)
+        assert parallel.strategy.options == serial.strategy.options
+        assert parallel.objective_value == serial.objective_value
+        assert parallel.candidate_name == serial.candidate_name
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model_name", available_models())
+def test_parallel_planner_bit_identical_on_zoo(model_name):
+    """The full preset zoo, serial vs `--jobs 4`, on the paper's NVLink
+    testbed — the acceptance gate of the parallel layer."""
+    job = JobConfig(
+        model=get_model(model_name),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster()),
+    )
+    _assert_identical(job, jobs=4)
