@@ -87,4 +87,15 @@ run_phase python -m pytest -q -p no:cacheprovider \
     benchmarks/test_perf_parallel.py
 
 echo
+echo "== chaos replay: crash/SIGKILL/corruption recovery is bit-identical =="
+# Bounded by run_phase's PHASE_TIMEOUT like every other phase; artifacts
+# (checkpoints + report.json) land in CHAOS_ARTIFACTS so CI can upload
+# them when a drill fails.
+CHAOS_DIR="${CHAOS_ARTIFACTS:-$(mktemp -d -t chaos-XXXXXX)}"
+run_phase python -m pytest -q -m '' tests/training/test_chaos.py
+run_phase python -m repro chaos --gc dgc --workers 2 --steps 16 \
+    --eval-every 4 --checkpoint-every 3 --kills 2 --corrupt-newest \
+    --dir "$CHAOS_DIR"
+
+echo
 echo "All checks passed."

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Recovery-overhead benchmark: checkpoint cost + elastic replan latency.
+
+For every zoo model this measures the two latencies a recovering job
+actually pays (DESIGN.md §5.6):
+
+* **Checkpoint write / restore** of the §5.4 training engine, using an
+  MLP proxy sized by the model's tensor count (the engine trains
+  synthetic tasks; the proxy keeps state size roughly ordered like the
+  zoo) — bytes on disk, atomic-save time, restore time, and the
+  per-step recompute cost a crash between checkpoints re-pays.
+* **Elastic replan** through the model's `DegradationTable`: build time
+  at admission, then the latency of `replan` for a membership change,
+  against the controller's default budget (twice the worst single-plan
+  time observed at build).
+
+Usage::
+
+    PYTHONPATH=src python scripts/recovery_bench.py [--models lstm,vgg16]
+
+Prints a markdown table (pasted into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import nvlink_100g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.robust import DegradationTable
+from repro.models import available_models, get_model
+from repro.training.chaos import TrainingJobSpec
+from repro.training.elastic import ElasticController, MembershipEvent
+
+
+def proxy_spec(num_tensors: int) -> TrainingJobSpec:
+    hidden = max(32, min(512, 2 * num_tensors))
+    return TrainingJobSpec(
+        gc="dgc", ratio=0.05, workers=4, steps=8, eval_every=4,
+        checkpoint_every=4, samples=512, features=64, classes=8,
+        informative=32, hidden=hidden,
+    )
+
+
+def bench_checkpoint(spec: TrainingJobSpec):
+    trainer = spec.build_trainer()
+    start = time.perf_counter()
+    trainer.train(spec.steps, eval_every=spec.eval_every)
+    step_seconds = (time.perf_counter() - start) / spec.steps
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        path = trainer.save(tmp)
+        save_seconds = time.perf_counter() - start
+        nbytes = Path(path).stat().st_size
+        fresh = spec.build_trainer()
+        start = time.perf_counter()
+        fresh.resume_from(tmp)
+        load_seconds = time.perf_counter() - start
+    return nbytes, save_seconds, load_seconds, step_seconds
+
+
+def bench_replan(name: str):
+    job = JobConfig(
+        model=get_model(name),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster(2, 4)),
+    )
+    start = time.perf_counter()
+    table = DegradationTable.build(job)
+    build_seconds = time.perf_counter() - start
+    controller = ElasticController([MembershipEvent(1, 3)], table=table)
+    spec = TrainingJobSpec(workers=4, steps=2, checkpoint_every=1)
+    trainer = spec.build_trainer()
+    controller.run(trainer, 2, eval_every=2)
+    (record,) = controller.log
+    return build_seconds, record.replan
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--models", default=",".join(available_models()),
+        help="comma-separated zoo model names",
+    )
+    args = parser.parse_args()
+    names = [name.strip() for name in args.models.split(",") if name.strip()]
+
+    print("| model | ckpt size | write | restore | recompute/step "
+          "| table build | replan | budget | verdict |")
+    print("|---|---|---|---|---|---|---|---|---|")
+    for name in names:
+        model = get_model(name)
+        nbytes, save_s, load_s, step_s = bench_checkpoint(
+            proxy_spec(model.num_tensors)
+        )
+        build_s, replan = bench_replan(name)
+        verdict = "within" if replan.within_budget else "OVER"
+        print(
+            f"| {name} | {nbytes / 1024:.0f} KB | {save_s * 1e3:.1f} ms "
+            f"| {load_s * 1e3:.1f} ms | {step_s * 1e3:.1f} ms "
+            f"| {build_s:.2f} s | {replan.seconds * 1e3:.1f} ms "
+            f"| {replan.budget_seconds * 1e3:.1f} ms | {verdict} |"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

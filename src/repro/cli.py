@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from repro.baselines import ALL_SYSTEMS, FP32, HiPress, UpperBound
@@ -48,13 +49,32 @@ from repro.core.parallel import (
     run_system_task,
     validate_strategy_task,
 )
-from repro.core.robust import OBJECTIVES, robust_select, sensitivity_sweep
+from repro.core.robust import (
+    OBJECTIVES,
+    DegradationTable,
+    robust_select,
+    sensitivity_sweep,
+)
 from repro.core.strategy import StrategyEvaluator, baseline_strategy
 from repro.core.tree import search_space_size
 from repro.sim.faults import ensemble_by_name
 from repro.sim.trace import write_chrome_trace
 from repro.sim.validate import ConformanceError
 from repro.models import available_models, get_model
+from repro.training.chaos import (
+    TrainingJobSpec,
+    corruption_drill,
+    run_inprocess,
+    run_sigkill,
+    run_uninterrupted,
+    sample_crash_steps,
+)
+from repro.training.checkpoint import (
+    CheckpointError,
+    checkpoint_step,
+    list_checkpoints,
+)
+from repro.training.elastic import ElasticController, MembershipEvent
 from repro.utils import format_bytes, render_table
 
 #: Exit code for unusable command-line inputs (bad config files), the
@@ -436,6 +456,170 @@ def cmd_options(args: argparse.Namespace) -> int:
     return 0
 
 
+def _training_spec(args: argparse.Namespace) -> TrainingJobSpec:
+    try:
+        return TrainingJobSpec(
+            gc=args.gc,
+            ratio=args.ratio if args.ratio is not None else 0.05,
+            workers=args.workers,
+            steps=args.steps,
+            eval_every=args.eval_every,
+            checkpoint_every=max(args.checkpoint_every, 1),
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        raise CLIConfigError(f"training job: {error}") from None
+
+
+def _parse_resize(values) -> List[MembershipEvent]:
+    events = []
+    for value in values or ():
+        try:
+            step_text, workers_text = value.split(":", 1)
+            events.append(
+                MembershipEvent(int(step_text), int(workers_text))
+            )
+        except ValueError as error:
+            raise CLIConfigError(
+                f"--resize wants STEP:WORKERS, got {value!r} ({error})"
+            ) from None
+    return events
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    spec = _training_spec(args)
+    try:
+        trainer = spec.build_trainer()
+    except (KeyError, ValueError) as error:
+        raise CLIConfigError(f"training job: {error}") from None
+    if args.resume:
+        if not args.checkpoint_dir:
+            raise CLIConfigError("--resume requires --checkpoint-dir")
+        restored = trainer.resume_from(args.checkpoint_dir)
+        if restored is not None:
+            print(f"resumed at step {trainer.step} from {restored}")
+        else:
+            print("no checkpoints found, starting fresh")
+    remaining = spec.steps - trainer.step
+    if remaining <= 0:
+        print(f"nothing to do: trainer is at step {trainer.step} "
+              f"of {spec.steps}")
+        return 0
+
+    events = _parse_resize(args.resize)
+    table = None
+    if events and args.replan_model:
+        params = {}
+        if args.ratio is not None:
+            params["ratio"] = args.ratio
+        job = JobConfig(
+            model=get_model(args.replan_model),
+            gc=GCInfo(args.gc, params),
+            system=SystemInfo(
+                cluster=nvlink_100g_cluster(
+                    num_machines=max(spec.workers, 1), gpus_per_machine=1
+                )
+            ),
+        )
+        print(f"building degradation table for {args.replan_model} "
+              f"(one planner run per ensemble member)...")
+        table = DegradationTable.build(job)
+    checkpoint_every = args.checkpoint_every if args.checkpoint_dir else 0
+    if events:
+        controller = ElasticController(events, table=table)
+        controller.run(
+            trainer,
+            remaining,
+            eval_every=spec.eval_every,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
+        print("membership changes:")
+        for record in controller.log:
+            print(f"  {record.summary()}")
+    else:
+        trainer.train(
+            remaining,
+            eval_every=spec.eval_every,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
+    curve = trainer.curve
+    print(f"trained to step {trainer.step}: "
+          f"loss {curve.train_loss[-1]:.4f}, "
+          f"accuracy {curve.final_accuracy:.1%}")
+    if trainer.degraded_tensors:
+        print(f"degraded tensors: {sorted(trainer.degraded_tensors)}")
+    if args.checkpoint_dir and checkpoint_every:
+        checkpoints = list_checkpoints(args.checkpoint_dir)
+        if checkpoints:
+            print(f"{len(checkpoints)} checkpoints in {args.checkpoint_dir} "
+                  f"(newest: step {checkpoint_step(checkpoints[0])})")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    spec = _training_spec(args)
+    directory = Path(
+        args.dir
+        if args.dir
+        else tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    print(f"chaos drill: {spec.gc} x {spec.workers} workers, "
+          f"{spec.steps} steps, artifacts in {directory}")
+    baseline = run_uninterrupted(spec)
+    crashes = sample_crash_steps(spec.steps, args.kills, args.seed)
+    print(f"scripted kills at steps {list(crashes)}")
+    results = []
+    if args.mode in ("both", "inprocess"):
+        results.append(
+            run_inprocess(spec, crashes, directory / "inprocess", baseline)
+        )
+    if args.mode in ("both", "sigkill"):
+        results.append(
+            run_sigkill(spec, crashes, directory / "sigkill", baseline)
+        )
+    if args.corrupt_newest:
+        results.append(
+            corruption_drill(spec, directory / "corruption", baseline)
+        )
+    for result in results:
+        print(result.summary())
+    report = {
+        "spec": json.loads(spec.to_json()),
+        "crash_steps": list(crashes),
+        "results": [
+            {
+                "mode": result.mode,
+                "crash_steps": list(result.crash_steps),
+                "recoveries": [
+                    {
+                        "crash_step": r.crash_step,
+                        "restored_step": r.restored_step,
+                        "recomputed_steps": r.recomputed_steps,
+                    }
+                    for r in result.recoveries
+                ],
+                "mismatched_keys": result.mismatched_keys,
+                "equivalent": result.equivalent,
+            }
+            for result in results
+        ],
+        "equivalent": all(result.equivalent for result in results),
+    }
+    report_path = directory / "report.json"
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"report written to {report_path}")
+    if not report["equivalent"]:
+        print("CHAOS FAILURE: recovery is not bit-identical")
+        return 1
+    print(f"all {len(results)} drills recovered bit-identical state")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -514,6 +698,66 @@ def build_parser() -> argparse.ArgumentParser:
     options.add_argument("--mode", default="independent",
                          choices=("uniform", "independent", "gpu", "cpu"))
     options.set_defaults(func=cmd_options)
+
+    def add_training_arguments(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--gc", default="dgc",
+                                help="compression algorithm name")
+        sub_parser.add_argument("--ratio", type=float, default=None,
+                                help="sparsification ratio "
+                                     "(for randomk/topk/dgc)")
+        sub_parser.add_argument("--workers", type=int, default=2,
+                                help="simulated data-parallel workers")
+        sub_parser.add_argument("--steps", type=int, default=24,
+                                help="training steps (absolute target)")
+        sub_parser.add_argument("--eval-every", type=int, default=6,
+                                help="evaluate every N steps")
+        sub_parser.add_argument("--checkpoint-every", type=int, default=4,
+                                help="checkpoint every N steps")
+        sub_parser.add_argument("--seed", type=int, default=0,
+                                help="model/batch sampling seed")
+
+    train = sub.add_parser(
+        "train",
+        help="run the data-parallel training engine with checkpointing "
+             "and elastic membership",
+    )
+    add_training_arguments(train)
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write atomic checkpoints into DIR")
+    train.add_argument("--resume", action="store_true",
+                       help="restore from the newest valid checkpoint in "
+                            "--checkpoint-dir before training (corrupt "
+                            "files are skipped; if none validate, exit 2)")
+    train.add_argument("--resize", action="append", metavar="STEP:WORKERS",
+                       help="membership change at a step boundary "
+                            "(repeatable, strictly increasing steps)")
+    train.add_argument("--replan-model", default=None,
+                       choices=available_models(), metavar="MODEL",
+                       help="build a degradation table for MODEL and "
+                            "replan the compression strategy at every "
+                            "--resize within its time budget")
+    train.set_defaults(func=cmd_train)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-replay drill: kill the trainer at random steps, "
+             "restart from checkpoints, demand bit-identical recovery",
+    )
+    add_training_arguments(chaos)
+    chaos.add_argument("--kills", type=int, default=2,
+                       help="number of scripted crashes")
+    chaos.add_argument("--mode", default="both",
+                       choices=("both", "inprocess", "sigkill"),
+                       help="in-process SimulatedCrash, subprocess "
+                            "SIGKILL, or both")
+    chaos.add_argument("--corrupt-newest", action="store_true",
+                       help="also run the corruption drill: bit-flip the "
+                            "newest checkpoint and demand fallback to the "
+                            "newest valid one")
+    chaos.add_argument("--dir", default=None, metavar="DIR",
+                       help="artifact directory for checkpoints and "
+                            "report.json (default: a fresh temp dir)")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 
@@ -522,6 +766,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except CLIConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except CheckpointError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except ConformanceError as error:

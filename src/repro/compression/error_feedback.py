@@ -77,3 +77,19 @@ class ErrorFeedback:
     def reset(self) -> None:
         """Drop all residuals (e.g. between training runs)."""
         self._residuals.clear()
+
+    def state_dict(self) -> Dict[object, np.ndarray]:
+        """A deep copy of every stored residual, for checkpointing.
+
+        Residuals are what make biased compressors convergent; a
+        checkpoint that dropped them would restore a run whose next
+        updates silently lose the accumulated compression error.
+        """
+        return {key: value.copy() for key, value in self._residuals.items()}
+
+    def load_state_dict(self, state: Dict[object, np.ndarray]) -> None:
+        """Replace all residuals with (copies of) ``state``'s."""
+        self._residuals = {
+            key: np.asarray(value, dtype=np.float32).copy()
+            for key, value in state.items()
+        }

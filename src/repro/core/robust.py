@@ -478,6 +478,13 @@ class ReplanResult:
     source: str  # candidate that won ("table:<fault>", "portfolio:...", "full-plan")
     used_full_planner: bool
     seconds: float
+    #: The budget :meth:`DegradationTable.replan` was asked to honour.
+    budget_seconds: float = math.inf
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the replan finished inside its time budget."""
+        return self.seconds <= self.budget_seconds
 
 
 @dataclass
@@ -595,4 +602,5 @@ class DegradationTable:
             source=best_name,
             used_full_planner=used_full,
             seconds=time.perf_counter() - check_start,
+            budget_seconds=budget_seconds,
         )

@@ -1,7 +1,28 @@
-"""Numpy data-parallel training engine for convergence validation (§5.4)."""
+"""Numpy data-parallel training engine for convergence validation (§5.4),
+with crash-consistent checkpointing, elastic membership, and the
+chaos-replay harness (DESIGN.md §5.6)."""
 
+from repro.training.chaos import TrainingJobSpec, fingerprint
+from repro.training.checkpoint import (
+    CheckpointError,
+    checkpoint_path,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.training.data import Dataset, make_classification, shard_dataset
-from repro.training.engine import DataParallelTrainer, TrainingCurve
+from repro.training.elastic import (
+    ElasticController,
+    MembershipEvent,
+    MembershipLog,
+    MembershipRecord,
+)
+from repro.training.engine import (
+    DataParallelTrainer,
+    SimulatedCrash,
+    TrainingCurve,
+)
 from repro.training.metrics import accuracy, macro_f1
 from repro.training.nets import MLP
 from repro.training.supervision import (
@@ -18,10 +39,23 @@ __all__ = [
     "MLP",
     "DataParallelTrainer",
     "TrainingCurve",
+    "SimulatedCrash",
     "accuracy",
     "macro_f1",
     "CompressorFault",
     "CompressorFaultSpec",
     "FlakyCompressor",
     "TrainingSupervisor",
+    "CheckpointError",
+    "checkpoint_path",
+    "save_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_valid_checkpoint",
+    "ElasticController",
+    "MembershipEvent",
+    "MembershipLog",
+    "MembershipRecord",
+    "TrainingJobSpec",
+    "fingerprint",
 ]

@@ -1,0 +1,454 @@
+"""Chaos-replay harness: kill the trainer, restart it, demand equality.
+
+The crash-consistency claim of :mod:`repro.training.checkpoint` is only
+worth something if it survives actual process death.  This module makes
+that testable and scriptable (``repro chaos``):
+
+* :class:`TrainingJobSpec` — a fully-deterministic description of a
+  synthetic training job (dataset, compressor, membership, scripted
+  faults) that can be rebuilt identically in any process, so the
+  harness and its SIGKILL'd children agree on what "the same job" is.
+* :func:`fingerprint` — a JSON-safe digest of everything the resume
+  property quantifies over: parameter and velocity hashes, per-worker
+  residual hashes, step counter, degraded tensors, the cumulative
+  curve, and the supervisor's backoff/fault accounting.
+* :func:`run_inprocess` — kills ``train()`` at scripted steps via
+  :class:`~repro.training.engine.SimulatedCrash`, abandons the trainer
+  object, and recovers a fresh one from the newest valid checkpoint.
+* :func:`run_sigkill` — the same drill with real process death: a
+  subprocess (:mod:`repro.training.chaos_worker`) SIGKILLs itself at
+  the scripted step (uncatchable — no ``atexit``, no flushing, exactly
+  what a crashed trainer looks like) and the next launch resumes from
+  whatever checkpoints survived.
+* :func:`corruption_drill` — bit-flips the newest checkpoint and
+  demands recovery fall back to the newest *valid* one while the
+  corrupt file is refused with a one-line diagnostic.
+
+Every drill ends by comparing fingerprints against an uninterrupted
+run of the same spec — recovery that loses a residual, a curve point,
+or a second of backoff accounting fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compression.registry import create_compressor
+from repro.training.checkpoint import (
+    CheckpointError,
+    list_checkpoints,
+    load_checkpoint,
+)
+from repro.training.data import Dataset, make_classification
+from repro.training.engine import DataParallelTrainer, SimulatedCrash
+from repro.training.supervision import (
+    CompressorFaultSpec,
+    FlakyCompressor,
+    TrainingSupervisor,
+)
+
+#: Compressors whose constructor takes a sparsification ratio.
+RATIO_ALGORITHMS = ("randomk", "topk", "dgc")
+
+
+@dataclass(frozen=True)
+class TrainingJobSpec:
+    """A deterministic synthetic training job, rebuildable anywhere.
+
+    Serializes to JSON so the SIGKILL worker subprocess reconstructs
+    the *identical* trainer (same dataset, compressor, supervisor
+    schedule) from a single command-line argument.
+    """
+
+    gc: str = "dgc"
+    ratio: float = 0.05
+    workers: int = 2
+    steps: int = 24
+    eval_every: int = 6
+    checkpoint_every: int = 4
+    batch_size: int = 16
+    hidden: int = 16
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    step_seconds: float = 1.0
+    seed: int = 0
+    samples: int = 240
+    features: int = 12
+    classes: int = 3
+    informative: int = 6
+    data_seed: int = 7
+    #: Compress-call indices at which a FlakyCompressor wrapper raises.
+    flaky_fail_calls: Tuple[int, ...] = ()
+    #: (tensor, step, failures-or-None) scripted supervisor faults.
+    fault_specs: Tuple[Tuple[str, int, Optional[int]], ...] = ()
+    #: (worker, step) scheduled dropouts.
+    worker_dropout: Tuple[Tuple[int, int], ...] = ()
+    max_retries: int = 2
+    retry_backoff: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+
+    def build_dataset(self) -> Dataset:
+        return make_classification(
+            samples=self.samples,
+            features=self.features,
+            classes=self.classes,
+            informative=self.informative,
+            seed=self.data_seed,
+        )
+
+    def build_trainer(self) -> DataParallelTrainer:
+        params = (
+            {"ratio": self.ratio} if self.gc in RATIO_ALGORITHMS else {}
+        )
+        compressor = create_compressor(self.gc, **params)
+        if self.flaky_fail_calls:
+            compressor = FlakyCompressor(
+                compressor, fail_calls=self.flaky_fail_calls
+            )
+        supervisor = TrainingSupervisor(
+            compressor_faults=tuple(
+                CompressorFaultSpec(tensor, step, failures)
+                for tensor, step, failures in self.fault_specs
+            ),
+            worker_dropout=dict(self.worker_dropout),
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+        )
+        return DataParallelTrainer(
+            self.build_dataset(),
+            compressor=compressor,
+            workers=self.workers,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            hidden=self.hidden,
+            step_seconds=self.step_seconds,
+            seed=self.seed,
+            supervisor=supervisor,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingJobSpec":
+        raw = json.loads(text)
+        for key in ("flaky_fail_calls", "fault_specs", "worker_dropout"):
+            raw[key] = tuple(
+                tuple(item) if isinstance(item, list) else item
+                for item in raw.get(key, ())
+            )
+        return cls(**raw)
+
+
+def _digest(array: np.ndarray) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+def fingerprint(trainer: DataParallelTrainer) -> Dict:
+    """A JSON-safe digest of the trainer's complete resumable state."""
+    return {
+        "step": trainer.step,
+        "workers": trainer.workers,
+        "params": {
+            name: _digest(value)
+            for name, value in sorted(trainer.model.params.items())
+        },
+        "velocity": {
+            name: _digest(value)
+            for name, value in sorted(trainer._velocity.items())
+        },
+        "residuals": [
+            {
+                str(key): _digest(value)
+                for key, value in sorted(feedback.state_dict().items())
+            }
+            for feedback in trainer._feedback
+        ],
+        "degraded_tensors": sorted(trainer.degraded_tensors),
+        "curve": trainer.curve.state_dict(),
+        "backoff_seconds": trainer.supervisor.backoff_seconds,
+        "fault_log": [list(entry) for entry in trainer.supervisor.fault_log],
+    }
+
+
+def diff_fingerprints(expected: Dict, actual: Dict) -> List[str]:
+    """Top-level fingerprint keys on which two runs disagree."""
+    keys = sorted(set(expected) | set(actual))
+    return [key for key in keys if expected.get(key) != actual.get(key)]
+
+
+@dataclass
+class Recovery:
+    """One crash and the checkpoint state recovery restarted from."""
+
+    crash_step: int
+    restored_step: int
+
+    @property
+    def recomputed_steps(self) -> int:
+        """Steps lost to the crash and re-executed after restore."""
+        return self.crash_step - self.restored_step
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos drill mode against the baseline run."""
+
+    mode: str
+    crash_steps: Tuple[int, ...]
+    recoveries: List[Recovery]
+    fingerprint: Dict
+    mismatched_keys: List[str]
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatched_keys
+
+    def summary(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else (
+            f"MISMATCH on {self.mismatched_keys}"
+        )
+        recovered = ", ".join(
+            f"killed@{r.crash_step}->resumed@{r.restored_step}"
+            for r in self.recoveries
+        ) or "no kills"
+        return f"[{self.mode}] {recovered}: {verdict}"
+
+
+def sample_crash_steps(steps: int, kills: int, seed: int) -> Tuple[int, ...]:
+    """``kills`` distinct crash steps in ``[1, steps)``, deterministic."""
+    if steps < 2 or kills < 1:
+        return ()
+    rng = np.random.default_rng(seed)
+    population = np.arange(1, steps)
+    chosen = rng.choice(
+        population, size=min(kills, population.size), replace=False
+    )
+    return tuple(sorted(int(step) for step in chosen))
+
+
+def run_uninterrupted(spec: TrainingJobSpec) -> Dict:
+    """Fingerprint of the job trained start-to-finish in one life."""
+    trainer = spec.build_trainer()
+    trainer.train(spec.steps, eval_every=spec.eval_every)
+    return fingerprint(trainer)
+
+
+def run_inprocess(
+    spec: TrainingJobSpec,
+    crash_steps: Sequence[int],
+    directory: Path,
+    baseline: Dict,
+) -> ChaosResult:
+    """Crash via :class:`SimulatedCrash`, recover from checkpoints."""
+    directory = Path(directory)
+    trainer = spec.build_trainer()
+    recoveries: List[Recovery] = []
+    pending = list(sorted(set(crash_steps)))
+    while True:
+        # Each scripted kill fires exactly once — a restore point
+        # earlier than an already-fired kill must not re-arm it.
+        crash_at = pending.pop(0) if pending else None
+        remaining = spec.steps - trainer.step
+        if remaining <= 0:
+            break
+        try:
+            trainer.train(
+                remaining,
+                eval_every=spec.eval_every,
+                checkpoint_dir=directory,
+                checkpoint_every=spec.checkpoint_every,
+                crash_at=crash_at,
+            )
+        except SimulatedCrash:
+            # The dying trainer is abandoned: recovery must come from
+            # disk alone, exactly like a real process death.
+            dead_step = trainer.step
+            trainer = spec.build_trainer()
+            trainer.resume_from(directory)
+            recoveries.append(Recovery(dead_step, trainer.step))
+    actual = fingerprint(trainer)
+    return ChaosResult(
+        mode="inprocess",
+        crash_steps=tuple(sorted(set(crash_steps))),
+        recoveries=recoveries,
+        fingerprint=actual,
+        mismatched_keys=diff_fingerprints(baseline, actual),
+    )
+
+
+def _run_worker(
+    spec: TrainingJobSpec,
+    directory: Path,
+    out: Path,
+    kill_at_step: Optional[int] = None,
+    timeout: float = 300.0,
+) -> subprocess.CompletedProcess:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.training.chaos_worker",
+        "--job",
+        spec.to_json(),
+        "--dir",
+        str(directory),
+        "--out",
+        str(out),
+    ]
+    if kill_at_step is not None:
+        command += ["--kill-at-step", str(kill_at_step)]
+    return subprocess.run(
+        command, capture_output=True, text=True, timeout=timeout
+    )
+
+
+def _parse_restored_step(stdout: str) -> int:
+    for line in stdout.splitlines():
+        if line.startswith("RESUMED step="):
+            return int(line.split("=", 2)[1].split()[0])
+        if line.startswith("FRESH"):
+            return 0
+    return 0
+
+
+def run_sigkill(
+    spec: TrainingJobSpec,
+    crash_steps: Sequence[int],
+    directory: Path,
+    baseline: Dict,
+) -> ChaosResult:
+    """Crash via real SIGKILL in a subprocess, recover on relaunch."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = directory / "fingerprint.json"
+    recoveries: List[Recovery] = []
+    previous_crash: Optional[int] = None
+    for crash in sorted(set(crash_steps)):
+        result = _run_worker(spec, directory, out, kill_at_step=crash)
+        # Each launch's RESUMED banner reports where it restored after
+        # the *previous* kill (the first launch starts FRESH).
+        if previous_crash is not None:
+            recoveries.append(
+                Recovery(previous_crash, _parse_restored_step(result.stdout))
+            )
+        if result.returncode != -signal.SIGKILL:
+            raise RuntimeError(
+                f"chaos worker survived its scripted SIGKILL at step "
+                f"{crash}: exit {result.returncode}\n{result.stderr}"
+            )
+        previous_crash = crash
+    final = _run_worker(spec, directory, out)
+    if final.returncode != 0:
+        raise RuntimeError(
+            f"chaos worker failed on the recovery run: exit "
+            f"{final.returncode}\n{final.stderr}"
+        )
+    if previous_crash is not None:
+        recoveries.append(
+            Recovery(previous_crash, _parse_restored_step(final.stdout))
+        )
+    actual = json.loads(out.read_text())
+    return ChaosResult(
+        mode="sigkill",
+        crash_steps=tuple(sorted(set(crash_steps))),
+        recoveries=recoveries,
+        fingerprint=actual,
+        mismatched_keys=diff_fingerprints(baseline, actual),
+    )
+
+
+def corrupt_file(path: Path, offset_fraction: float = 0.6) -> None:
+    """Bit-flip one byte of ``path`` (a deliberate checkpoint injury)."""
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    index = min(len(blob) - 1, int(len(blob) * offset_fraction))
+    blob[index] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def corruption_drill(
+    spec: TrainingJobSpec, directory: Path, baseline: Dict
+) -> ChaosResult:
+    """Crash mid-run, bit-flip the newest checkpoint, demand fallback.
+
+    The newest surviving checkpoint is deliberately corrupted; recovery
+    must (a) refuse it — explicit loads raise the one-line
+    :class:`CheckpointError` the CLI maps to exit 2 — and (b) fall back
+    to the newest *valid* checkpoint, re-execute the lost steps, and
+    still end bit-identical to the uninterrupted run.
+    """
+    directory = Path(directory)
+    # Crash late enough that at least two checkpoints exist.
+    crash = min(spec.steps - 1, 2 * spec.checkpoint_every + 1)
+    trainer = spec.build_trainer()
+    try:
+        trainer.train(
+            spec.steps,
+            eval_every=spec.eval_every,
+            checkpoint_dir=directory,
+            checkpoint_every=spec.checkpoint_every,
+            crash_at=crash,
+        )
+    except SimulatedCrash:
+        pass
+    checkpoints = list_checkpoints(directory)
+    if len(checkpoints) < 2:
+        raise RuntimeError(
+            f"corruption drill needs >= 2 checkpoints, found "
+            f"{len(checkpoints)} in {directory}"
+        )
+    newest = checkpoints[0]
+    corrupt_file(newest)
+    try:
+        load_checkpoint(newest)
+    except CheckpointError:
+        pass
+    else:
+        raise RuntimeError(
+            f"corrupted checkpoint {newest} was not refused by the loader"
+        )
+    trainer = spec.build_trainer()
+    restored = trainer.resume_from(directory)
+    if restored is None or Path(restored) == newest:
+        raise RuntimeError(
+            f"recovery did not fall back past the corrupt {newest}"
+        )
+    recovery = Recovery(crash, trainer.step)
+    trainer.train(
+        spec.steps - trainer.step,
+        eval_every=spec.eval_every,
+        checkpoint_dir=directory,
+        checkpoint_every=spec.checkpoint_every,
+    )
+    actual = fingerprint(trainer)
+    return ChaosResult(
+        mode="corruption",
+        crash_steps=(crash,),
+        recoveries=[recovery],
+        fingerprint=actual,
+        mismatched_keys=diff_fingerprints(baseline, actual),
+    )

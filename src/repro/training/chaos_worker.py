@@ -1,0 +1,89 @@
+"""Subprocess entry point for the SIGKILL chaos drill.
+
+Runs one *process life* of a checkpointed training job: resume from the
+newest valid checkpoint in ``--dir`` (or start fresh), train toward the
+job's target, and either die by real ``SIGKILL`` at the scripted step
+or finish and write the run's fingerprint JSON.  Invoked as::
+
+    python -m repro.training.chaos_worker --job '<spec json>' \\
+        --dir /path/to/ckpts --out /path/to/fingerprint.json \\
+        [--kill-at-step N]
+
+Exit codes: ``0`` finished (fingerprint written), ``2`` unusable
+checkpoint state (all candidates corrupt — one-line diagnostic on
+stderr), killed by ``SIGKILL`` when ``--kill-at-step`` fires.  The kill
+is delivered by the process to itself so the death is uncatchable and
+deterministic — no ``atexit``, no buffered-write flushing, exactly the
+crash the checkpoint layer claims to survive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.training.chaos import TrainingJobSpec, fingerprint
+from repro.training.checkpoint import CheckpointError
+from repro.training.engine import SimulatedCrash
+
+#: Exit code for unusable checkpoint state, matching the CLI convention.
+EXIT_USAGE = 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.training.chaos_worker",
+        description="one process life of a checkpointed chaos-drill job",
+    )
+    parser.add_argument("--job", required=True,
+                        help="TrainingJobSpec JSON (or @path to a file)")
+    parser.add_argument("--dir", required=True,
+                        help="checkpoint directory shared across lives")
+    parser.add_argument("--out", required=True,
+                        help="where the finishing life writes its fingerprint")
+    parser.add_argument("--kill-at-step", type=int, default=None,
+                        help="SIGKILL self right after this absolute step")
+    args = parser.parse_args(argv)
+
+    job_text = args.job
+    if job_text.startswith("@"):
+        job_text = Path(job_text[1:]).read_text()
+    spec = TrainingJobSpec.from_json(job_text)
+    trainer = spec.build_trainer()
+    try:
+        restored = trainer.resume_from(args.dir)
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if restored is not None:
+        print(f"RESUMED step={trainer.step} from={restored}", flush=True)
+    else:
+        print("FRESH step=0", flush=True)
+
+    remaining = spec.steps - trainer.step
+    if remaining > 0:
+        try:
+            trainer.train(
+                remaining,
+                eval_every=spec.eval_every,
+                checkpoint_dir=args.dir,
+                checkpoint_every=spec.checkpoint_every,
+                crash_at=args.kill_at_step,
+            )
+        except SimulatedCrash:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(fingerprint(trainer), sort_keys=True))
+    print(f"DONE step={trainer.step}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

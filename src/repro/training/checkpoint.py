@@ -1,0 +1,212 @@
+"""Crash-consistent training checkpoints.
+
+A checkpoint is one file holding the *complete* state a
+:class:`~repro.training.engine.DataParallelTrainer` needs to resume
+bit-identically: model parameters, momentum velocity, every worker's
+error-feedback residuals, the step counter, degraded-tensor set,
+cumulative training curve, and the supervisor's backoff/fault
+accounting.  Losing the residuals would silently break the convergence
+guarantee of biased compressors (Top-k, Random-k, EFSignSGD), so they
+are first-class checkpoint citizens, not an optimization.
+
+Durability contract (the crash-consistency story):
+
+* **Atomic publication** — the state is written to a temporary file in
+  the same directory, flushed and ``fsync``\\ ed, then ``os.replace``\\ d
+  onto the final name, and the directory entry is fsynced.  A crash
+  (including SIGKILL) at any point leaves either the previous
+  checkpoint set or the previous set plus one complete new file —
+  never a half-written visible checkpoint.
+* **Self-validation** — every file carries a magic tag, a format
+  version, the body length, and a CRC32 of the body.  Truncation, bit
+  flips, or a foreign file fail :func:`load_checkpoint` with a
+  one-line :class:`CheckpointError` (the CLI maps it to exit code 2).
+* **Newest-valid fallback** — :func:`latest_valid_checkpoint` scans a
+  directory newest-step-first and returns the first checkpoint that
+  validates, reporting the corrupt ones it skipped; it raises only
+  when checkpoints exist but none validate.
+
+The body is a pickled dict of numpy arrays and plain scalars; the
+schema of that dict is owned by the trainer
+(``DataParallelTrainer.state_dict``), which additionally embeds its
+hyperparameters and refuses to restore into a mismatched trainer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: File magic identifying a repro training checkpoint.
+MAGIC = b"ESPRCKPT"
+#: On-disk format version; bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: magic (8s) + format version (u32) + body CRC32 (u32) + body length (u64).
+_HEADER = struct.Struct("<8sIIQ")
+
+_NAME_RE = re.compile(r"^ckpt-(\d{8})\.ckpt$")
+
+
+class CheckpointError(Exception):
+    """A checkpoint cannot be written, read, or restored (CLI exit 2)."""
+
+
+def checkpoint_path(directory: os.PathLike, step: int) -> Path:
+    """The canonical checkpoint filename for ``step`` inside ``directory``."""
+    if step < 0:
+        raise ValueError(f"step must be >= 0, got {step}")
+    return Path(directory) / f"ckpt-{step:08d}.ckpt"
+
+
+def checkpoint_step(path: os.PathLike) -> Optional[int]:
+    """The step encoded in a checkpoint filename, or None for other files."""
+    match = _NAME_RE.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def save_checkpoint(path: os.PathLike, state: Dict) -> None:
+    """Atomically write ``state`` to ``path`` (write-temp + fsync + rename).
+
+    The temporary file lives in the target directory (same filesystem,
+    so the final ``os.replace`` is atomic) and is removed on any
+    failure; a crash mid-write can only leave an invisible ``.tmp``
+    file behind, which directory scans ignore.
+    """
+    path = Path(path)
+    payload = pickle.dumps(state, protocol=4)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist the directory entry of a just-renamed checkpoint."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def load_checkpoint(path: os.PathLike) -> Dict:
+    """Read and validate a checkpoint, raising one-line diagnostics.
+
+    Every failure mode — missing file, foreign magic, unsupported
+    version, truncation, CRC mismatch, undecodable body — raises
+    :class:`CheckpointError` whose message fits on one line (the CLI
+    prints it verbatim and exits 2).
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint not found: {path}") from None
+    except IsADirectoryError:
+        raise CheckpointError(f"checkpoint is a directory: {path}") from None
+    if len(blob) < _HEADER.size:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: truncated header "
+            f"({len(blob)} of {_HEADER.size} bytes)"
+        )
+    magic, version, crc, body_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: bad magic (not a repro checkpoint)"
+        )
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint {path}: format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    body = blob[_HEADER.size:]
+    if len(body) != body_len:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: truncated body "
+            f"({len(body)} of {body_len} bytes)"
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: body CRC mismatch (bit rot or "
+            f"torn write)"
+        )
+    try:
+        state = pickle.loads(body)
+    except Exception as error:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: undecodable body ({error})"
+        ) from None
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: body is not a state dict"
+        )
+    return state
+
+
+def list_checkpoints(directory: os.PathLike) -> List[Path]:
+    """Checkpoint files in ``directory``, newest step first.
+
+    Only canonically-named files (``ckpt-<step>.ckpt``) are considered;
+    temporaries from interrupted writes are invisible here.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [
+        (step, path)
+        for path in directory.iterdir()
+        if (step := checkpoint_step(path)) is not None
+    ]
+    return [path for _, path in sorted(found, reverse=True)]
+
+
+def latest_valid_checkpoint(
+    directory: os.PathLike,
+) -> Optional[Tuple[Path, Dict, List[Tuple[Path, CheckpointError]]]]:
+    """The newest checkpoint in ``directory`` that validates.
+
+    Returns ``(path, state, skipped)`` where ``skipped`` lists the
+    newer-but-corrupt files that were refused, or ``None`` when the
+    directory holds no checkpoints at all.  Raises
+    :class:`CheckpointError` when checkpoints exist but every one is
+    corrupt — resuming silently from scratch would be data loss.
+    """
+    paths = list_checkpoints(directory)
+    if not paths:
+        return None
+    skipped: List[Tuple[Path, CheckpointError]] = []
+    for path in paths:
+        try:
+            return path, load_checkpoint(path), skipped
+        except CheckpointError as error:
+            skipped.append((path, error))
+    raise CheckpointError(
+        f"no valid checkpoint in {directory}: all {len(skipped)} candidates "
+        f"corrupt (newest: {skipped[0][1]})"
+    )

@@ -1,0 +1,279 @@
+"""Elastic worker membership for the data-parallel trainer.
+
+Real DDL jobs gain and lose workers mid-flight — preemptible instances,
+hardware failures, autoscaling.  A compression-aware training service
+must survive that without losing the error-feedback residuals that make
+biased compressors convergent, and without keeping a compression
+strategy that is now wrong for the topology.  This module supplies the
+event layer on top of
+:meth:`~repro.training.engine.DataParallelTrainer.set_membership`:
+
+* :class:`MembershipEvent` — a scheduled worker-count change at a step
+  boundary (join and leave are both just "the membership becomes K").
+* :class:`ElasticController` — segments ``train()`` around the events,
+  applies the membership mechanics (deterministic re-shard +
+  mass-conserving residual redistribution), and — when given a
+  :class:`~repro.core.robust.DegradationTable` — replans the
+  compression strategy for the new topology via
+  :meth:`~repro.core.robust.DegradationTable.replan` inside its time
+  budget, mapping the worker count onto the cluster's machine count
+  with :class:`MembershipFault`.
+* :class:`MembershipLog` — an auditable record of every change: shard
+  sizes, residual-mass conservation error, and the replan outcome.
+
+The residual-redistribution rule (DESIGN.md §5.6): for every tensor,
+the sum of the departing membership's residuals is divided equally
+among the new membership.  The *sum* is what error feedback re-injects
+into future aggregated updates, so the uniform split conserves the
+pending compression error exactly (up to float32 rounding measured in
+:attr:`MembershipRecord.residual_mass_error`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import JobConfig
+from repro.core.robust import DegradationTable, ReplanResult
+from repro.sim.faults import Fault, FaultModel
+from repro.training.engine import DataParallelTrainer, TrainingCurve
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """The membership becomes ``workers`` when the trainer reaches ``step``."""
+
+    step: int
+    workers: int
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
+class MembershipFault(Fault):
+    """Map a membership change onto the DDL job's cluster topology.
+
+    The training engine's K workers stand in for the cluster's K
+    machines (one data-parallel rank per machine); a join/leave is
+    therefore a perfectly ordinary perturbed job — same design rule as
+    :mod:`repro.sim.faults`: faults perturb inputs, never the engine —
+    so the replan path prices candidate strategies on the new topology
+    with the unmodified simulator.
+    """
+
+    num_machines: int
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ValueError(
+                f"num_machines must be >= 1, got {self.num_machines}"
+            )
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        cluster = job.system.cluster.with_machines(self.num_machines)
+        return replace(job, system=replace(job.system, cluster=cluster))
+
+    def describe(self) -> str:
+        return f"membership change: {self.num_machines} machines"
+
+
+def membership_model(workers: int) -> FaultModel:
+    """The :class:`FaultModel` naming the post-change topology."""
+    return FaultModel(
+        name=f"membership-{workers}", faults=(MembershipFault(workers),)
+    )
+
+
+@dataclass
+class MembershipRecord:
+    """One applied membership change, with its replan outcome."""
+
+    step: int
+    old_workers: int
+    new_workers: int
+    #: Post-change per-worker shard sizes (deterministic re-shard).
+    shard_sizes: Tuple[int, ...]
+    #: Max-norm of (sum of residuals after − before); float32 rounding
+    #: only, ~0 — the mass-conservation check of the redistribution rule.
+    residual_mass_error: float
+    replan: Optional[ReplanResult] = None
+
+    @property
+    def within_budget(self) -> Optional[bool]:
+        """Replan-budget verdict (None when no table was configured)."""
+        return None if self.replan is None else self.replan.within_budget
+
+    def summary(self) -> str:
+        line = (
+            f"step {self.step}: {self.old_workers} -> {self.new_workers} "
+            f"workers, shards {list(self.shard_sizes)}, "
+            f"residual mass error {self.residual_mass_error:.3g}"
+        )
+        if self.replan is not None:
+            verdict = "within" if self.replan.within_budget else "OVER"
+            line += (
+                f"; replanned via {self.replan.source!r} in "
+                f"{self.replan.seconds * 1e3:.1f} ms "
+                f"({verdict} budget {self.replan.budget_seconds * 1e3:.1f} ms)"
+            )
+        return line
+
+
+@dataclass
+class MembershipLog:
+    """Ordered record of every membership change in a run."""
+
+    records: List[MembershipRecord] = field(default_factory=list)
+
+    def append(self, record: MembershipRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no membership changes"
+        return "\n".join(record.summary() for record in self.records)
+
+
+class ElasticController:
+    """Drive a trainer through scheduled membership changes.
+
+    Args:
+        events: worker-count changes, strictly increasing in step.
+        table: optional precomputed
+            :class:`~repro.core.robust.DegradationTable`; when present,
+            every membership change replans the compression strategy
+            for the new topology within ``budget_seconds``.
+        budget_seconds: replan time budget; defaults to twice the worst
+            single-plan time observed while building the table (enough
+            room for a full planner run, still bounded).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[MembershipEvent],
+        table: Optional[DegradationTable] = None,
+        budget_seconds: Optional[float] = None,
+    ):
+        events = tuple(events)
+        for previous, current in zip(events, events[1:]):
+            if current.step <= previous.step:
+                raise ValueError(
+                    f"events must be strictly increasing in step, got "
+                    f"{previous.step} then {current.step}"
+                )
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be > 0, got {budget_seconds}"
+            )
+        self.events = events
+        self.table = table
+        self.budget_seconds = budget_seconds
+        self.log = MembershipLog()
+
+    def _replan_budget(self) -> float:
+        if self.budget_seconds is not None:
+            return self.budget_seconds
+        assert self.table is not None
+        # Twice the worst observed plan time: room for one full planner
+        # run plus the candidate scoring, never unbounded.
+        return max(2.0 * self.table.max_plan_seconds, 1e-3)
+
+    def _apply(self, trainer: DataParallelTrainer, event: MembershipEvent) -> None:
+        old_workers = trainer.workers
+        totals_before = trainer.residual_totals()
+        trainer.set_membership(event.workers)
+        totals_after = trainer.residual_totals()
+        error = 0.0
+        for key, before in totals_before.items():
+            after = totals_after.get(key)
+            if after is None:
+                error = float("inf")
+                break
+            error = max(
+                error, float(np.max(np.abs(after - before), initial=0.0))
+            )
+        replan = None
+        if self.table is not None:
+            budget = self._replan_budget()
+            replan = self.table.replan(
+                membership_model(event.workers), budget_seconds=budget
+            )
+        self.log.append(
+            MembershipRecord(
+                step=event.step,
+                old_workers=old_workers,
+                new_workers=event.workers,
+                shard_sizes=trainer.shard_sizes,
+                residual_mass_error=error,
+                replan=replan,
+            )
+        )
+
+    def run(
+        self,
+        trainer: DataParallelTrainer,
+        steps: int,
+        eval_every: int = 20,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+    ) -> TrainingCurve:
+        """Train ``steps`` further iterations, applying events en route.
+
+        Events falling at or before the trainer's current step are
+        skipped (a restored checkpoint already reflects them — the
+        worker count is part of the trainer's state); events beyond the
+        target are left for a later call.  Returns the trainer's
+        cumulative curve.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        target = trainer.step + steps
+        for event in self.events:
+            if event.step < trainer.step:
+                continue
+            if event.step == trainer.step:
+                # Covers both a step-0 event on a fresh job and a
+                # restored checkpoint torn between the boundary write
+                # and the membership change: apply only if the change
+                # is not already reflected in the trainer.
+                if trainer.workers != event.workers:
+                    self._apply(trainer, event)
+                    if checkpoint_dir is not None and checkpoint_every:
+                        trainer.save(checkpoint_dir)
+                continue
+            if event.step > target:
+                break
+            span = event.step - trainer.step
+            trainer.train(
+                span,
+                eval_every=eval_every,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+            )
+            self._apply(trainer, event)
+            if checkpoint_dir is not None and checkpoint_every:
+                # Re-publish the boundary checkpoint with the new
+                # membership so a crash right here cannot resurrect the
+                # pre-change state at the same step.
+                trainer.save(checkpoint_dir)
+        if trainer.step < target:
+            trainer.train(
+                target - trainer.step,
+                eval_every=eval_every,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+            )
+        return trainer.curve

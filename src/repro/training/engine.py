@@ -7,12 +7,37 @@ on their own mini-batches, compress them (with error feedback), the
 the same SGD update — bitwise-identical replicas, like real synchronous
 DDL.  Wall-clock per step can be taken from the DDL timeline simulator
 to plot time-to-accuracy (Fig. 16(b)).
+
+Recoverability (this file + :mod:`repro.training.checkpoint`):
+
+* **Counter-based batch sampling** — worker ``i``'s mini-batch at step
+  ``s`` is drawn from a fresh generator keyed on ``(seed, i, s)``, so a
+  draw never depends on how many other workers drew before it.  That is
+  what makes the engine *restartable* (re-executing a step after a
+  crash redraws the same batches) and *elastic* (a membership change or
+  a worker dropout does not reshuffle the surviving workers' data).
+* **Checkpoint / restore** — :meth:`DataParallelTrainer.state_dict`
+  captures everything the update rule depends on: parameters, momentum
+  velocity, per-worker error-feedback residuals, the step counter and
+  absolute training target, the degraded-tensor set, the cumulative
+  curve with its pending-loss buffer, the supervisor's backoff/fault
+  accounting, and (when the compressor exposes ``state_dict``) the
+  compressor's own counters.  Restore is bit-identical: ``train(N)``
+  equals train-to-``k`` → checkpoint → restore → train-to-``N`` on
+  every replica, for every compressor in the registry.
+* **Elastic membership** — :meth:`DataParallelTrainer.set_membership`
+  re-shards the dataset deterministically and redistributes the
+  error-feedback residuals mass-conservingly (see
+  :mod:`repro.training.elastic` for the event layer and the replan
+  hook).
 """
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -20,9 +45,24 @@ import numpy as np
 from repro.compression.base import Compressor
 from repro.compression.error_feedback import ErrorFeedback
 from repro.compression.none import NoCompression
+from repro.training.checkpoint import (
+    CheckpointError,
+    checkpoint_path,
+    latest_valid_checkpoint,
+    save_checkpoint,
+)
 from repro.training.data import Dataset, shard_dataset
 from repro.training.nets import MLP
 from repro.training.supervision import CompressorFault, TrainingSupervisor
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by ``train(..., crash_at=s)`` right after step ``s``.
+
+    The chaos harness's in-process kill: the trainer object is
+    abandoned where a real process would have died, and recovery must
+    come from the checkpoint directory alone.
+    """
 
 
 @dataclass
@@ -46,6 +86,23 @@ class TrainingCurve:
             if accuracy >= target:
                 return seconds
         return None
+
+    def state_dict(self) -> Dict:
+        return {
+            "steps": list(self.steps),
+            "seconds": list(self.seconds),
+            "train_loss": list(self.train_loss),
+            "test_accuracy": list(self.test_accuracy),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict) -> "TrainingCurve":
+        return cls(
+            steps=[int(v) for v in state["steps"]],
+            seconds=[float(v) for v in state["seconds"]],
+            train_loss=[float(v) for v in state["train_loss"]],
+            test_accuracy=[float(v) for v in state["test_accuracy"]],
+        )
 
 
 class DataParallelTrainer:
@@ -82,13 +139,17 @@ class DataParallelTrainer:
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
         self.dataset = dataset
         self.compressor = compressor if compressor is not None else NoCompression()
         self.workers = workers
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.momentum = momentum
+        self.hidden = hidden
         self.step_seconds = step_seconds
+        self.seed = seed
         self.model = MLP(
             dataset.num_features, dataset.num_classes, hidden=hidden, seed=seed
         )
@@ -97,8 +158,12 @@ class DataParallelTrainer:
         self._velocity: Dict[str, np.ndarray] = {
             name: np.zeros_like(value) for name, value in self.model.params.items()
         }
-        self._rng = np.random.default_rng(seed + 1)
         self._step = 0
+        #: Absolute step the current/most recent ``train`` call runs to.
+        self._target_step = 0
+        #: Cumulative history across ``train`` calls and restores.
+        self.curve = TrainingCurve()
+        self._recent_losses: List[float] = []
         self.supervisor = supervisor if supervisor is not None else TrainingSupervisor()
         self._fallback = NoCompression()
         #: Tensors permanently degraded to the fallback compressor after
@@ -107,9 +172,30 @@ class DataParallelTrainer:
         #: aggregated update — and therefore the replicas — diverge.
         self.degraded_tensors: Set[str] = set()
 
+    @property
+    def step(self) -> int:
+        """Absolute number of completed training steps."""
+        return self._step
+
+    @property
+    def shard_sizes(self) -> tuple:
+        """Per-worker training-shard sizes under the current membership."""
+        return tuple(x.shape[0] for x, _ in self._shards)
+
     def _worker_batch(self, worker: int):
+        """Worker ``worker``'s mini-batch for the current step.
+
+        Counter-based: the generator is keyed on ``(seed, worker,
+        step)``, so the draw is a pure function of those three values —
+        independent of every other worker's draws, of dropout, and of
+        process restarts.  (The old design pulled all workers from one
+        shared stream, so worker i's indices depended on how many
+        workers drew before it; any membership change silently
+        reshuffled every survivor's data.)
+        """
         x, y = self._shards[worker]
-        idx = self._rng.integers(0, x.shape[0], size=self.batch_size)
+        rng = np.random.default_rng((self.seed, worker, self._step))
+        idx = rng.integers(0, x.shape[0], size=self.batch_size)
         return x[idx], y[idx]
 
     def _shared_seed(self, name: str) -> int:
@@ -192,22 +278,234 @@ class DataParallelTrainer:
         predictions = self.model.predict(self.dataset.test_x)
         return float(np.mean(predictions == self.dataset.test_y))
 
-    def train(self, steps: int, eval_every: int = 20) -> TrainingCurve:
-        """Train for ``steps`` iterations, recording a curve."""
+    def _record_evaluation(self, segment: TrainingCurve) -> None:
+        seconds = (
+            # Retry backoff is wall-clock the job actually spent; the
+            # step term is absolute, so the axis survives restarts.
+            self._step * self.step_seconds
+            + self.supervisor.backoff_seconds
+        )
+        train_loss = float(np.mean(self._recent_losses))
+        test_accuracy = self.evaluate()
+        for curve in (self.curve, segment):
+            curve.steps.append(self._step)
+            curve.seconds.append(seconds)
+            curve.train_loss.append(train_loss)
+            curve.test_accuracy.append(test_accuracy)
+        self._recent_losses.clear()
+
+    def train(
+        self,
+        steps: int,
+        eval_every: int = 20,
+        checkpoint_dir: Optional[os.PathLike] = None,
+        checkpoint_every: int = 0,
+        crash_at: Optional[int] = None,
+    ) -> TrainingCurve:
+        """Train for ``steps`` further iterations, recording a curve.
+
+        The evaluation target is tracked *absolutely*: this call runs
+        to ``self.step + steps``, evaluating at every multiple of
+        ``eval_every`` and at the target step — so a second ``train``
+        call (or a resumed trainer) records its final curve point
+        instead of comparing the absolute counter to a relative budget.
+
+        With ``checkpoint_dir``/``checkpoint_every`` set, an atomic
+        checkpoint is written after every ``checkpoint_every``-th step
+        (after that step's curve point, so restore resumes exactly
+        where the file says).  ``crash_at`` raises
+        :class:`SimulatedCrash` right after the given absolute step —
+        the chaos harness's in-process kill switch.
+
+        Returns the curve segment recorded by *this* call; the
+        cumulative history lives in :attr:`curve`.
+        """
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
-        curve = TrainingCurve()
-        recent_losses: List[float] = []
-        for _ in range(steps):
-            recent_losses.append(self.train_step())
-            if self._step % eval_every == 0 or self._step == steps:
-                curve.steps.append(self._step)
-                # Retry backoff is wall-clock the job actually spent.
-                curve.seconds.append(
-                    self._step * self.step_seconds
-                    + self.supervisor.backoff_seconds
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        self._target_step = self._step + steps
+        segment = TrainingCurve()
+        while self._step < self._target_step:
+            self._recent_losses.append(self.train_step())
+            if self._step % eval_every == 0 or self._step == self._target_step:
+                self._record_evaluation(segment)
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every
+                and self._step % checkpoint_every == 0
+            ):
+                self.save(checkpoint_dir)
+            if crash_at is not None and self._step >= crash_at:
+                raise SimulatedCrash(f"scripted crash after step {self._step}")
+        return segment
+
+    # -- elastic membership ----------------------------------------------
+
+    def set_membership(self, new_workers: int) -> None:
+        """Change the worker count at a step boundary.
+
+        Mechanics (see DESIGN.md §5.6 for the rationale):
+
+        * the dataset is re-sharded deterministically
+          (:func:`~repro.training.data.shard_dataset` is a pure
+          function of ``(dataset, workers)``);
+        * error-feedback residuals are redistributed under the
+          **mass-conserving uniform split**: for every tensor, the sum
+          of the old workers' residuals is divided equally among the
+          new workers, so the total pending compression error — the
+          quantity error feedback re-injects into future aggregated
+          updates — is conserved exactly;
+        * momentum velocity and model parameters are replica-global
+          and unchanged.
+        """
+        if new_workers < 1:
+            raise ValueError(f"workers must be >= 1, got {new_workers}")
+        if new_workers == self.workers:
+            return
+        totals = self.residual_totals()
+        self.workers = new_workers
+        self._shards = shard_dataset(self.dataset, new_workers)
+        self._feedback = [
+            ErrorFeedback(self.compressor) for _ in range(new_workers)
+        ]
+        shares = {
+            key: (total / new_workers).astype(np.float32)
+            for key, total in totals.items()
+        }
+        for feedback in self._feedback:
+            # load_state_dict deep-copies, so workers do not alias.
+            feedback.load_state_dict(shares)
+
+    def residual_totals(self) -> Dict[str, np.ndarray]:
+        """Per-tensor sum of all workers' error-feedback residuals."""
+        totals: Dict[str, np.ndarray] = {}
+        for feedback in self._feedback:
+            for key, residual in feedback.state_dict().items():
+                if key in totals:
+                    totals[key] = totals[key] + residual
+                else:
+                    totals[key] = residual
+        return totals
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _schema(self) -> Dict:
+        """The hyperparameters a checkpoint must match to be restorable."""
+        return {
+            "compressor": self.compressor.name,
+            "num_features": self.dataset.num_features,
+            "num_classes": self.dataset.num_classes,
+            "hidden": self.hidden,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "step_seconds": self.step_seconds,
+            "seed": self.seed,
+        }
+
+    def state_dict(self) -> Dict:
+        """Everything needed to resume bit-identically (deep copies)."""
+        compressor_state = None
+        state_fn = getattr(self.compressor, "state_dict", None)
+        if callable(state_fn):
+            compressor_state = state_fn()
+        return {
+            "schema": self._schema(),
+            "step": self._step,
+            "target_step": self._target_step,
+            "workers": self.workers,
+            "params": self.model.clone_params(),
+            "velocity": {k: v.copy() for k, v in self._velocity.items()},
+            "residuals": [fb.state_dict() for fb in self._feedback],
+            "degraded_tensors": sorted(self.degraded_tensors),
+            "curve": self.curve.state_dict(),
+            "recent_losses": list(self._recent_losses),
+            "supervisor": self.supervisor.state_dict(),
+            "compressor_state": compressor_state,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output, refusing mismatched schemas.
+
+        The worker count may differ from the constructor's (an elastic
+        run checkpointed after a membership change): shards and
+        feedback state are rebuilt for the checkpointed membership.
+        """
+        schema = state.get("schema")
+        mine = self._schema()
+        if schema != mine:
+            wrong = sorted(
+                key
+                for key in mine
+                if not isinstance(schema, dict) or schema.get(key) != mine[key]
+            )
+            raise CheckpointError(
+                f"checkpoint schema mismatch on {wrong or 'all fields'}: "
+                f"refusing to restore into a differently-configured trainer"
+            )
+        workers = int(state["workers"])
+        if workers < 1:
+            raise CheckpointError(
+                f"checkpoint has invalid worker count {workers}"
+            )
+        residuals = state["residuals"]
+        if len(residuals) != workers:
+            raise CheckpointError(
+                f"checkpoint is inconsistent: {len(residuals)} residual "
+                f"sets for {workers} workers"
+            )
+        self.workers = workers
+        self._shards = shard_dataset(self.dataset, workers)
+        self._feedback = [
+            ErrorFeedback(self.compressor) for _ in range(workers)
+        ]
+        for feedback, residual_state in zip(self._feedback, residuals):
+            feedback.load_state_dict(residual_state)
+        self.model.load_params(state["params"])
+        self._velocity = {
+            name: np.asarray(value, dtype=np.float32).copy()
+            for name, value in state["velocity"].items()
+        }
+        self._step = int(state["step"])
+        self._target_step = int(state["target_step"])
+        self.degraded_tensors = set(state["degraded_tensors"])
+        self.curve = TrainingCurve.from_state_dict(state["curve"])
+        self._recent_losses = [float(v) for v in state["recent_losses"]]
+        self.supervisor.load_state_dict(state["supervisor"])
+        if state.get("compressor_state") is not None:
+            load_fn = getattr(self.compressor, "load_state_dict", None)
+            if not callable(load_fn):
+                raise CheckpointError(
+                    f"checkpoint carries state for compressor "
+                    f"{schema['compressor']!r} but "
+                    f"{self.compressor.name!r} cannot load it"
                 )
-                curve.train_loss.append(float(np.mean(recent_losses)))
-                curve.test_accuracy.append(self.evaluate())
-                recent_losses.clear()
-        return curve
+            load_fn(state["compressor_state"])
+
+    def save(self, directory: os.PathLike) -> Path:
+        """Atomically checkpoint the trainer into ``directory``."""
+        path = checkpoint_path(directory, self._step)
+        save_checkpoint(path, self.state_dict())
+        return path
+
+    def resume_from(self, directory: os.PathLike) -> Optional[Path]:
+        """Restore from the newest valid checkpoint in ``directory``.
+
+        Returns the checkpoint path used, or ``None`` when the
+        directory holds no checkpoints (fresh start).  Corrupt newer
+        files are skipped in favour of the newest valid one; if
+        checkpoints exist but none validate, :class:`CheckpointError`
+        propagates (the CLI exits 2) rather than silently restarting
+        from scratch.
+        """
+        found = latest_valid_checkpoint(directory)
+        if found is None:
+            return None
+        path, state, _skipped = found
+        self.load_state_dict(state)
+        return path

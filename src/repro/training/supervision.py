@@ -146,6 +146,36 @@ class TrainingSupervisor:
             )
         return active
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """The supervisor's *mutable* accounting, for checkpointing.
+
+        The schedule (fault specs, dropout, retry policy) is
+        configuration, reconstructed by whoever builds the supervisor;
+        what must survive a crash is the accounting the curve's time
+        axis and the injection bookkeeping depend on: accumulated
+        backoff seconds, the fault log, and how many scripted failures
+        each tensor has already consumed.
+        """
+        return {
+            "backoff_seconds": self.backoff_seconds,
+            "fault_log": [list(entry) for entry in self.fault_log],
+            "consumed": dict(self._consumed),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the accounting captured by :meth:`state_dict`."""
+        self.backoff_seconds = float(state["backoff_seconds"])
+        self.fault_log = [
+            (int(step), str(tensor), str(message))
+            for step, tensor, message in state["fault_log"]
+        ]
+        self._consumed = {
+            str(tensor): int(count)
+            for tensor, count in state["consumed"].items()
+        }
+
 
 class FlakyCompressor(Compressor):
     """Wrap a compressor so chosen ``compress()`` calls raise.
@@ -189,3 +219,13 @@ class FlakyCompressor(Compressor):
 
     def compressed_nbytes(self, num_elements: int) -> int:
         return self.inner.compressed_nbytes(num_elements)
+
+    def state_dict(self) -> Dict:
+        """Call-counter state, so a checkpointed run resumes with the
+        same fault schedule position (the failure indices are counted
+        over the whole job, not one process lifetime)."""
+        return {"calls": self.calls, "faults_raised": self.faults_raised}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.calls = int(state["calls"])
+        self.faults_raised = int(state["faults_raised"])

@@ -193,3 +193,113 @@ def test_wrong_schema_config_exits_2(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "model config" in err
     assert err.count("\n") == 1
+
+
+# -- training engine subcommands ------------------------------------------
+
+
+def test_train_command_with_checkpoints(tmp_path, capsys):
+    ck = tmp_path / "ck"
+    assert main([
+        "train", "--gc", "topk", "--ratio", "0.1", "--workers", "2",
+        "--steps", "8", "--eval-every", "4", "--checkpoint-every", "4",
+        "--checkpoint-dir", str(ck),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trained to step 8" in out
+    assert "checkpoints in" in out
+    # A checkpoint landed on the target step: resuming is a clean no-op.
+    assert main([
+        "train", "--gc", "topk", "--ratio", "0.1", "--workers", "2",
+        "--steps", "8", "--eval-every", "4", "--checkpoint-every", "4",
+        "--checkpoint-dir", str(ck), "--resume",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "resumed at step 8" in out
+    assert "nothing to do" in out
+
+
+def test_train_resume_with_resize(tmp_path, capsys):
+    ck = tmp_path / "ck"
+    assert main([
+        "train", "--gc", "dgc", "--workers", "2", "--steps", "6",
+        "--eval-every", "3", "--checkpoint-every", "2",
+        "--checkpoint-dir", str(ck), "--resize", "4:3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "membership changes:" in out
+    assert "2 -> 3 workers" in out
+
+
+def test_train_resume_requires_checkpoint_dir(capsys):
+    assert main(["train", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume requires --checkpoint-dir" in err
+    assert err.count("\n") == 1
+
+
+def test_train_bad_resize_exits_2(capsys):
+    assert main(["train", "--resize", "banana"]) == 2
+    assert "--resize wants STEP:WORKERS" in capsys.readouterr().err
+
+
+def test_train_unknown_compressor_exits_2(capsys):
+    assert main(["train", "--gc", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert err.count("\n") == 1
+
+
+def test_train_all_corrupt_checkpoints_exit_2(tmp_path, capsys):
+    from repro.training.chaos import corrupt_file
+    from repro.training.checkpoint import list_checkpoints
+
+    ck = tmp_path / "ck"
+    args = [
+        "train", "--gc", "dgc", "--workers", "2", "--steps", "6",
+        "--eval-every", "3", "--checkpoint-every", "2",
+        "--checkpoint-dir", str(ck),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    for path in list_checkpoints(ck):
+        corrupt_file(path)
+    assert main(args + ["--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "candidates corrupt" in err
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+def test_chaos_command_inprocess(tmp_path, capsys):
+    assert main([
+        "chaos", "--gc", "dgc", "--workers", "2", "--steps", "10",
+        "--eval-every", "5", "--checkpoint-every", "3", "--kills", "2",
+        "--mode", "inprocess", "--corrupt-newest", "--dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[inprocess]" in out
+    assert "[corruption]" in out
+    assert "EQUIVALENT" in out
+    assert "bit-identical" in out
+    import json
+
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["equivalent"] is True
+    assert {r["mode"] for r in report["results"]} == {
+        "inprocess", "corruption",
+    }
+    for result in report["results"]:
+        for recovery in result["recoveries"]:
+            assert recovery["restored_step"] <= recovery["crash_step"]
+
+
+def test_chaos_command_sigkill_mode(tmp_path, capsys):
+    assert main([
+        "chaos", "--gc", "none", "--workers", "2", "--steps", "8",
+        "--eval-every", "4", "--checkpoint-every", "2", "--kills", "1",
+        "--mode", "sigkill", "--dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[sigkill]" in out
+    assert "EQUIVALENT" in out
+    assert (tmp_path / "report.json").exists()

@@ -1,0 +1,162 @@
+"""Chaos-replay tests: kill the trainer, restart it, demand equality.
+
+The SIGKILL drills spawn real subprocesses (each one a fresh
+interpreter), so the spec here is deliberately tiny.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.training.chaos import (
+    TrainingJobSpec,
+    corrupt_file,
+    corruption_drill,
+    diff_fingerprints,
+    fingerprint,
+    run_inprocess,
+    run_sigkill,
+    run_uninterrupted,
+    sample_crash_steps,
+)
+from repro.training.checkpoint import list_checkpoints
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SPEC = TrainingJobSpec(
+    gc="dgc", workers=2, steps=14, eval_every=4, checkpoint_every=3,
+    samples=120, features=8, classes=2, informative=4, hidden=8,
+)
+
+#: The composition demanded by the issue: chaos kills layered on top of
+#: a flaky compressor, a scripted per-tensor fault, and worker dropout.
+FAULTY_SPEC = TrainingJobSpec(
+    gc="topk", ratio=0.2, workers=3, steps=14, eval_every=4,
+    checkpoint_every=3, samples=120, features=8, classes=2, informative=4,
+    hidden=8, flaky_fail_calls=(7,), fault_specs=(("fc2.weight", 5, 2),),
+    worker_dropout=((2, 6),),
+)
+
+
+def test_spec_json_round_trip():
+    assert TrainingJobSpec.from_json(FAULTY_SPEC.to_json()) == FAULTY_SPEC
+    with pytest.raises(ValueError):
+        TrainingJobSpec(steps=0)
+    with pytest.raises(ValueError):
+        TrainingJobSpec(checkpoint_every=0)
+
+
+def test_sample_crash_steps_deterministic_and_in_range():
+    a = sample_crash_steps(20, 3, seed=5)
+    assert a == sample_crash_steps(20, 3, seed=5)
+    assert len(a) == 3 == len(set(a))
+    assert all(1 <= step < 20 for step in a)
+    assert a == tuple(sorted(a))
+    assert sample_crash_steps(20, 3, seed=6) != a
+    assert sample_crash_steps(1, 3, seed=5) == ()
+    assert sample_crash_steps(20, 0, seed=5) == ()
+    # More kills than candidate steps clamps, not raises.
+    assert len(sample_crash_steps(4, 99, seed=5)) == 3
+
+
+def test_fingerprint_detects_state_drift():
+    trainer = SPEC.build_trainer()
+    trainer.train(4, eval_every=4)
+    before = fingerprint(trainer)
+    assert diff_fingerprints(before, fingerprint(trainer)) == []
+    trainer.train(2, eval_every=2)
+    drifted = diff_fingerprints(before, fingerprint(trainer))
+    assert "step" in drifted and "params" in drifted
+
+
+def test_inprocess_recovery_is_equivalent(tmp_path):
+    baseline = run_uninterrupted(SPEC)
+    crashes = sample_crash_steps(SPEC.steps, 2, seed=3)
+    result = run_inprocess(SPEC, crashes, tmp_path, baseline)
+    assert result.equivalent, result.summary()
+    assert result.crash_steps == crashes
+    assert len(result.recoveries) == len(crashes)
+    for recovery in result.recoveries:
+        assert 0 <= recovery.restored_step <= recovery.crash_step
+        assert recovery.recomputed_steps >= 0
+    assert "EQUIVALENT" in result.summary()
+
+
+def test_inprocess_composes_with_fault_injection(tmp_path):
+    baseline = run_uninterrupted(FAULTY_SPEC)
+    crashes = sample_crash_steps(FAULTY_SPEC.steps, 3, seed=9)
+    result = run_inprocess(FAULTY_SPEC, crashes, tmp_path, baseline)
+    assert result.equivalent, result.summary()
+    # The drill actually exercised the fault machinery, not a quiet run.
+    assert baseline["fault_log"]
+    assert baseline["backoff_seconds"] > 0
+
+
+def test_sigkill_recovery_is_equivalent(tmp_path):
+    baseline = run_uninterrupted(SPEC)
+    crashes = sample_crash_steps(SPEC.steps, 2, seed=3)
+    result = run_sigkill(SPEC, crashes, tmp_path, baseline)
+    assert result.equivalent, result.summary()
+    assert len(result.recoveries) == len(crashes)
+    assert (tmp_path / "fingerprint.json").exists()
+
+
+@pytest.mark.slow
+def test_sigkill_composes_with_fault_injection(tmp_path):
+    baseline = run_uninterrupted(FAULTY_SPEC)
+    crashes = sample_crash_steps(FAULTY_SPEC.steps, 2, seed=11)
+    result = run_sigkill(FAULTY_SPEC, crashes, tmp_path, baseline)
+    assert result.equivalent, result.summary()
+
+
+def test_corruption_drill_falls_back_and_recovers(tmp_path):
+    baseline = run_uninterrupted(SPEC)
+    result = corruption_drill(SPEC, tmp_path, baseline)
+    assert result.equivalent, result.summary()
+    (recovery,) = result.recoveries
+    # Fallback skipped the (corrupted) newest checkpoint: the restore
+    # point is strictly older than the newest written one.
+    assert recovery.restored_step < recovery.crash_step
+
+
+def test_corrupt_file_flips_exactly_one_byte(tmp_path):
+    target = tmp_path / "blob"
+    target.write_bytes(bytes(range(32)))
+    corrupt_file(target, offset_fraction=0.5)
+    blob = target.read_bytes()
+    assert len(blob) == 32
+    assert sum(a != b for a, b in zip(blob, bytes(range(32)))) == 1
+    empty = tmp_path / "empty"
+    empty.write_bytes(b"")
+    with pytest.raises(ValueError):
+        corrupt_file(empty)
+
+
+def test_worker_exits_2_when_every_checkpoint_is_corrupt(tmp_path):
+    """All-corrupt checkpoint state is refused with exit 2 and a
+    one-line diagnostic — never a silent restart from scratch."""
+    trainer = SPEC.build_trainer()
+    trainer.train(
+        6, eval_every=3, checkpoint_dir=tmp_path, checkpoint_every=2
+    )
+    for path in list_checkpoints(tmp_path):
+        corrupt_file(path)
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.training.chaos_worker",
+            "--job", SPEC.to_json(),
+            "--dir", str(tmp_path),
+            "--out", str(tmp_path / "fp.json"),
+        ],
+        env=dict(os.environ, PYTHONPATH=SRC),
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 2, result.stderr
+    diagnostic = result.stderr.strip()
+    assert diagnostic.startswith("error: ")
+    assert "\n" not in diagnostic
+    assert "corrupt" in diagnostic

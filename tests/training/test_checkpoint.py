@@ -1,0 +1,303 @@
+"""Crash-consistent checkpointing tests (DESIGN.md §5.6).
+
+Covers the on-disk format's self-validation matrix, the newest-valid
+fallback policy, schema-mismatch refusal, and — the core claim — that
+restore is *bit-identical*: ``train(N)`` equals train-to-``k`` →
+checkpoint → restore → train-to-``N``, for every compressor in the
+registry, property-tested over the split point, including runs with
+fault injection active.
+"""
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.registry import available_compressors
+from repro.training.chaos import (
+    TrainingJobSpec,
+    diff_fingerprints,
+    fingerprint,
+)
+from repro.training.checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointError,
+    checkpoint_path,
+    checkpoint_step,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+#: A tiny job: every test trains a few steps of a 12-feature MLP.
+SPEC = TrainingJobSpec(
+    gc="dgc", workers=2, steps=10, eval_every=3, checkpoint_every=2,
+    samples=120, features=8, classes=2, informative=4, hidden=8,
+)
+
+FAULTY_SPEC = TrainingJobSpec(
+    gc="topk", ratio=0.2, workers=3, steps=10, eval_every=3,
+    checkpoint_every=2, samples=120, features=8, classes=2, informative=4,
+    hidden=8, flaky_fail_calls=(5,), fault_specs=(("fc2.weight", 3, 2),),
+    worker_dropout=((2, 4),),
+)
+
+
+# -- on-disk format ------------------------------------------------------
+
+
+def test_save_load_round_trip(tmp_path):
+    state = {"step": 7, "blob": b"\x00\x01", "nested": {"a": [1.5, 2.5]}}
+    path = checkpoint_path(tmp_path, 7)
+    save_checkpoint(path, state)
+    assert load_checkpoint(path) == state
+    assert checkpoint_step(path) == 7
+
+
+def test_checkpoint_path_validation(tmp_path):
+    with pytest.raises(ValueError):
+        checkpoint_path(tmp_path, -1)
+    assert checkpoint_step("not-a-checkpoint.bin") is None
+
+
+def test_save_leaves_no_temporaries(tmp_path):
+    save_checkpoint(checkpoint_path(tmp_path, 1), {"step": 1})
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".ckpt"]
+    assert leftovers == []
+
+
+@pytest.mark.parametrize(
+    "injure, expect",
+    [
+        (lambda blob: blob[:4], "truncated header"),
+        (lambda blob: b"WRONGMAG" + blob[8:], "bad magic"),
+        (
+            lambda blob: blob[:8] + struct.pack("<I", 99) + blob[12:],
+            "format version 99",
+        ),
+        (lambda blob: blob[:-3], "truncated body"),
+        (
+            lambda blob: blob[:30] + bytes([blob[30] ^ 0xFF]) + blob[31:],
+            "CRC mismatch",
+        ),
+    ],
+)
+def test_corruption_matrix(tmp_path, injure, expect):
+    """Every injury class is refused with a one-line diagnostic."""
+    path = checkpoint_path(tmp_path, 3)
+    save_checkpoint(path, {"step": 3, "payload": list(range(64))})
+    path.write_bytes(injure(path.read_bytes()))
+    with pytest.raises(CheckpointError) as excinfo:
+        load_checkpoint(path)
+    message = str(excinfo.value)
+    assert expect in message
+    assert "\n" not in message  # one line, CLI prints it verbatim
+
+
+def test_undecodable_and_non_dict_bodies(tmp_path):
+    path = tmp_path / "ckpt-00000001.ckpt"
+    body = b"\x80\x04this is not a pickle"
+    header = struct.Struct("<8sIIQ").pack(
+        MAGIC, FORMAT_VERSION, __import__("zlib").crc32(body), len(body)
+    )
+    path.write_bytes(header + body)
+    with pytest.raises(CheckpointError, match="undecodable body"):
+        load_checkpoint(path)
+    body = pickle.dumps([1, 2, 3])
+    header = struct.Struct("<8sIIQ").pack(
+        MAGIC, FORMAT_VERSION, __import__("zlib").crc32(body), len(body)
+    )
+    path.write_bytes(header + body)
+    with pytest.raises(CheckpointError, match="not a state dict"):
+        load_checkpoint(path)
+
+
+def test_missing_and_directory_paths(tmp_path):
+    with pytest.raises(CheckpointError, match="not found"):
+        load_checkpoint(tmp_path / "ckpt-00000009.ckpt")
+    target = tmp_path / "ckpt-00000009.ckpt"
+    target.mkdir()
+    with pytest.raises(CheckpointError, match="is a directory"):
+        load_checkpoint(target)
+
+
+# -- directory scanning and fallback -------------------------------------
+
+
+def test_list_checkpoints_orders_and_filters(tmp_path):
+    for step in (4, 12, 8):
+        save_checkpoint(checkpoint_path(tmp_path, step), {"step": step})
+    (tmp_path / ".ckpt-00000099.ckpt.tmp.123").write_bytes(b"torn write")
+    (tmp_path / "notes.txt").write_text("ignore me")
+    paths = list_checkpoints(tmp_path)
+    assert [checkpoint_step(p) for p in paths] == [12, 8, 4]
+    assert list_checkpoints(tmp_path / "missing") == []
+
+
+def test_latest_valid_falls_back_past_corruption(tmp_path):
+    for step in (2, 4, 6):
+        save_checkpoint(checkpoint_path(tmp_path, step), {"step": step})
+    newest = checkpoint_path(tmp_path, 6)
+    newest.write_bytes(newest.read_bytes()[:-5])
+    path, state, skipped = latest_valid_checkpoint(tmp_path)
+    assert checkpoint_step(path) == 4
+    assert state == {"step": 4}
+    assert [checkpoint_step(p) for p, _ in skipped] == [6]
+
+
+def test_latest_valid_empty_directory_is_fresh_start(tmp_path):
+    assert latest_valid_checkpoint(tmp_path) is None
+
+
+def test_all_corrupt_raises_instead_of_silent_restart(tmp_path):
+    for step in (1, 2):
+        path = checkpoint_path(tmp_path, step)
+        save_checkpoint(path, {"step": step})
+        path.write_bytes(b"garbage")
+    with pytest.raises(CheckpointError, match="all 2 candidates corrupt"):
+        latest_valid_checkpoint(tmp_path)
+
+
+# -- trainer round-trip --------------------------------------------------
+
+
+def test_schema_mismatch_refused(tmp_path):
+    trainer = SPEC.build_trainer()
+    trainer.train(4, eval_every=2)
+    trainer.save(tmp_path)
+    other = TrainingJobSpec(
+        **{**SPEC.__dict__, "hidden": SPEC.hidden * 2}
+    ).build_trainer()
+    with pytest.raises(CheckpointError, match="hidden"):
+        other.resume_from(tmp_path)
+
+
+def test_double_train_records_final_evaluation():
+    """Satellite regression: the final-eval condition used to compare the
+    absolute step counter to the *relative* step budget, so any second
+    ``train()`` call silently dropped its last curve point."""
+    trainer = SPEC.build_trainer()
+    first = trainer.train(4, eval_every=3)
+    second = trainer.train(4, eval_every=3)
+    assert first.steps == [3, 4]
+    assert second.steps == [6, 8]  # 8 is the absolute target: recorded
+    assert trainer.curve.steps == [3, 4, 6, 8]
+
+
+def test_supervisor_and_flaky_counters_round_trip(tmp_path):
+    """Backoff seconds, fault log, scripted-fault consumption, and the
+    FlakyCompressor call counter all survive restore."""
+    trainer = FAULTY_SPEC.build_trainer()
+    trainer.train(6, eval_every=3, checkpoint_dir=tmp_path, checkpoint_every=2)
+    assert trainer.supervisor.backoff_seconds > 0
+    assert trainer.supervisor.fault_log
+    resumed = FAULTY_SPEC.build_trainer()
+    restored = resumed.resume_from(tmp_path)
+    assert restored is not None
+    assert resumed.step == 6
+    assert resumed.supervisor.backoff_seconds == trainer.supervisor.backoff_seconds
+    assert resumed.supervisor.fault_log == trainer.supervisor.fault_log
+    assert resumed.compressor.calls == trainer.compressor.calls
+    assert resumed.degraded_tensors == trainer.degraded_tensors
+
+
+def _crash_split_resume(spec, split, directory):
+    """Run ``spec`` interrupted at ``split``, then resume to the target.
+
+    A crash-style split: the first life dies mid-flight (checkpointing
+    every step, so the restore point is exactly ``split``) and the
+    second life trains to the same absolute target — the equivalence
+    the chaos harness quantifies over.
+    """
+    from repro.training.engine import SimulatedCrash
+
+    first = spec.build_trainer()
+    try:
+        first.train(
+            spec.steps,
+            eval_every=spec.eval_every,
+            checkpoint_dir=directory,
+            checkpoint_every=1,
+            crash_at=split,
+        )
+    except SimulatedCrash:
+        pass
+    resumed = spec.build_trainer()
+    assert resumed.resume_from(directory) is not None
+    assert resumed.step == split
+    resumed.train(spec.steps - split, eval_every=spec.eval_every)
+    return resumed
+
+
+@settings(max_examples=8, deadline=None)
+@given(split=st.integers(min_value=1, max_value=SPEC.steps - 1),
+       data=st.data())
+def test_bit_identical_resume_property(tmp_path_factory, split, data):
+    """train(N) == crash at k -> restore -> train to N, bit-for-bit,
+    for every registry compressor and any split point — curve, params,
+    velocity, residuals, supervisor accounting, everything."""
+    gc = data.draw(st.sampled_from(available_compressors()), label="gc")
+    spec = TrainingJobSpec(**{**SPEC.__dict__, "gc": gc})
+    straight = spec.build_trainer()
+    straight.train(spec.steps, eval_every=spec.eval_every)
+    expected = fingerprint(straight)
+
+    resumed = _crash_split_resume(
+        spec, split, tmp_path_factory.mktemp("resume")
+    )
+    assert diff_fingerprints(expected, fingerprint(resumed)) == []
+
+
+@pytest.mark.parametrize("split", [2, 5, 9])
+def test_bit_identical_resume_with_fault_injection(tmp_path, split):
+    """The property holds while faults fire: flaky compressor, scripted
+    per-tensor faults (degradation), and worker dropout."""
+    straight = FAULTY_SPEC.build_trainer()
+    straight.train(FAULTY_SPEC.steps, eval_every=FAULTY_SPEC.eval_every)
+    expected = fingerprint(straight)
+    resumed = _crash_split_resume(FAULTY_SPEC, split, tmp_path)
+    assert diff_fingerprints(expected, fingerprint(resumed)) == []
+
+
+def test_explicit_split_matches_except_extra_eval(tmp_path):
+    """An *explicit* train(k) -> save -> restore -> train(N-k) matches
+    the straight run on all model/supervisor state; the only visible
+    difference is the extra curve point train(k) records at its own
+    call target k (documented ``train`` semantics)."""
+    straight = SPEC.build_trainer()
+    straight.train(SPEC.steps, eval_every=SPEC.eval_every)
+    expected = fingerprint(straight)
+
+    split = 4  # not a multiple of eval_every=3: forces the extra point
+    first = SPEC.build_trainer()
+    first.train(split, eval_every=SPEC.eval_every)
+    first.save(tmp_path)
+    resumed = SPEC.build_trainer()
+    assert resumed.resume_from(tmp_path) is not None
+    resumed.train(SPEC.steps - split, eval_every=SPEC.eval_every)
+    actual = fingerprint(resumed)
+    assert diff_fingerprints(expected, actual) == ["curve"]
+    assert actual["curve"]["steps"] == sorted(
+        expected["curve"]["steps"] + [split]
+    )
+    # Model state at shared eval points is identical: accuracies agree.
+    shared = {
+        step: accuracy
+        for step, accuracy in zip(
+            actual["curve"]["steps"], actual["curve"]["test_accuracy"]
+        )
+        if step != split
+    }
+    assert shared == dict(
+        zip(expected["curve"]["steps"], expected["curve"]["test_accuracy"])
+    )
+
+
+def test_resume_from_empty_directory_returns_none(tmp_path):
+    trainer = SPEC.build_trainer()
+    assert trainer.resume_from(tmp_path) is None
+    assert trainer.step == 0

@@ -53,6 +53,43 @@ def test_sharding_partitions_everything():
     assert total == data.train_x.shape[0]
 
 
+def test_sharding_is_deterministic():
+    """shard_dataset is a pure function of (dataset, workers) — the
+    property elastic membership and crash recovery both lean on."""
+    data = make_classification(samples=400, seed=4)
+    first = shard_dataset(data, workers=3)
+    second = shard_dataset(data, workers=3)
+    for (xa, ya), (xb, yb) in zip(first, second):
+        np.testing.assert_array_equal(xa, xb)
+        np.testing.assert_array_equal(ya, yb)
+
+
+def test_sharding_covers_exhaustively_and_disjointly():
+    """Concatenating the shards in worker order reproduces the training
+    set exactly: every sample assigned once, none duplicated or lost."""
+    data = make_classification(samples=401, seed=4)  # non-divisible
+    shards = shard_dataset(data, workers=3)
+    np.testing.assert_array_equal(
+        np.concatenate([x for x, _ in shards]), data.train_x
+    )
+    np.testing.assert_array_equal(
+        np.concatenate([y for _, y in shards]), data.train_y
+    )
+
+
+@pytest.mark.parametrize("workers", range(1, 9))
+def test_sharding_stable_for_1_to_8_workers(workers):
+    data = make_classification(samples=400, seed=4)
+    shards = shard_dataset(data, workers=workers)
+    sizes = [x.shape[0] for x, _ in shards]
+    assert len(shards) == workers
+    assert sum(sizes) == data.train_x.shape[0]
+    assert max(sizes) - min(sizes) <= 1  # balanced contiguous split
+    np.testing.assert_array_equal(
+        np.concatenate([x for x, _ in shards]), data.train_x
+    )
+
+
 def test_validation():
     with pytest.raises(ValueError):
         make_classification(features=4, informative=8)

@@ -63,6 +63,37 @@ def test_shared_seed_is_crc32_not_hash():
     assert trainer._shared_seed("fc1.weight") == expected
 
 
+def test_worker_batch_draws_are_counter_based():
+    """Worker i's mini-batch at step s is a pure function of (seed, i,
+    s) — pinned to golden indices so a change to the keying scheme (or
+    a regression to a shared sequential stream) fails loudly."""
+    import numpy as np
+
+    dataset = make_classification(samples=100, features=8, classes=2,
+                                  informative=4, seed=9)
+    trainer = DataParallelTrainer(dataset, workers=2, batch_size=4, seed=5)
+    golden = {
+        (0, 0): [25, 30, 0, 30],
+        (0, 1): [33, 28, 21, 14],
+        (1, 0): [4, 28, 28, 17],
+        (1, 1): [32, 32, 10, 20],
+    }
+    for (worker, step), expected in golden.items():
+        trainer._step = step
+        x, y = trainer._shards[worker]
+        bx, by = trainer._worker_batch(worker)
+        np.testing.assert_array_equal(bx, x[expected])
+        np.testing.assert_array_equal(by, y[expected])
+    # Draw order is irrelevant: worker 1 alone sees the same batch it
+    # saw when worker 0 drew first (the old shared-stream design broke
+    # exactly this).
+    trainer._step = 0
+    again_x, again_y = trainer._worker_batch(1)
+    np.testing.assert_array_equal(
+        again_x, trainer._shards[1][0][golden[(1, 0)]]
+    )
+
+
 def test_shared_seed_varies_by_step_and_tensor():
     dataset = make_classification(samples=200, features=16, classes=2,
                                   informative=8, seed=1)
