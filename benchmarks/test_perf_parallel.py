@@ -77,6 +77,11 @@ def test_perf_parallel():
             "effective_jobs": parallel.stats.parallel_jobs,
             "fanout_ms": round(parallel.stats.fanout_seconds * 1e3, 1),
             "merge_ms": round(parallel.stats.merge_seconds * 1e3, 1),
+            # Why the run stayed serial, if it did: "effective_jobs: 1"
+            # with no reason recorded is exactly the mystery this
+            # section once shipped (a 1-core clamp looks identical to a
+            # broken pool).  None when the fan-out actually engaged.
+            "disabled_reason": parallel.stats.parallel_disabled_reason,
         }
 
     merge_bench_json(BENCH_PATH, {"parallel": records})

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 import functools
 import gc
+import json
 import time
 from pathlib import Path
+
+import pytest
 
 from benchmarks.harness import emit, merge_bench_json, paper_scale
 from repro.cluster import nvlink_100g_cluster
@@ -25,6 +28,13 @@ from repro.models import available_models
 from repro.utils import render_table
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_planner.json"
+
+# The committed trajectory baseline, captured at import — before
+# test_perf_planner merges this run's numbers into the same file — so
+# the regression gate always compares against what was checked in.
+_COMMITTED: dict = (
+    json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+)
 
 
 def _job(model_name: str) -> JobConfig:
@@ -47,7 +57,15 @@ def _timed_selection(job: JobConfig, fast_eval: bool):
 def compute_records():
     records = {}
     for name in available_models():
-        ms, result = _timed_selection(_job(name), fast_eval=True)
+        # Two samples, best one recorded — the same least-noise
+        # estimator the before/after comparison below uses.  Selection
+        # is deterministic, so the samples differ only by scheduler and
+        # CPU-steal noise, which a single sample would bake into the
+        # trajectory file on a shared host.
+        ms, result = min(
+            (_timed_selection(_job(name), fast_eval=True) for _ in range(2)),
+            key=lambda timed: timed[0],
+        )
         stats = result.stats
         records[name] = {
             "selection_ms": round(ms, 1),
@@ -79,6 +97,11 @@ def compute_records():
     before_ms, before = min(samples[False], key=lambda timed: timed[0])
     assert after.iteration_time == before.iteration_time
     assert after.strategy.options == before.strategy.options
+    # ``after`` measures the same quantity as bert's selection_ms (a
+    # fast-path selection), so its interleaved samples sharpen the
+    # best-sample estimate for free.
+    if after_ms < records["bert-base"]["selection_ms"]:
+        records["bert-base"]["selection_ms"] = round(after_ms, 1)
     records["bert-base"].update(
         {
             "before_ms": round(before_ms, 1),
@@ -129,3 +152,23 @@ def test_perf_planner(benchmark):
     # with the largest refinement churn.  Measured ~3x on an idle
     # machine; the bound leaves headroom for noisy CI neighbours.
     assert bert["speedup"] >= 2.0, bert
+
+
+@pytest.mark.bench_regression
+def test_selection_time_no_regression():
+    """CI gate: bert-base selection must not regress >25% vs the
+    committed BENCH_planner.json baseline.
+
+    The committed number is the trajectory this repo's perf work is
+    measured against; a slow PR should fail here, loudly.  The 25%
+    allowance absorbs host-to-host variation; on hosts too noisy even
+    for that, deselect with ``-m 'not bench_regression'``.
+    """
+    committed = _COMMITTED.get("bert-base", {}).get("selection_ms")
+    if committed is None:
+        pytest.skip("no committed bert-base baseline to compare against")
+    measured = compute_records()["bert-base"]["selection_ms"]
+    assert measured <= committed * 1.25, (
+        f"bert-base selection regressed: {measured:.1f} ms vs committed "
+        f"{committed:.1f} ms (+{measured / committed - 1.0:.0%}, gate +25%)"
+    )

@@ -87,6 +87,18 @@ run_phase python -m pytest -q -p no:cacheprovider \
     benchmarks/test_perf_parallel.py
 
 echo
+echo "== planner perf: selection trajectory + regression gate =="
+# Rewrites BENCH_planner.json (the perf-trajectory seed) and fails if
+# bert-base selection regressed >25% vs the committed baseline.  On
+# hosts too noisy for wall-clock gates: -m 'not bench_regression'.
+run_phase python -m pytest -q -p no:cacheprovider \
+    benchmarks/test_perf_planner.py
+
+echo
+echo "== planner profile: where selection time goes (perf PRs start here) =="
+run_phase python scripts/profile_planner.py vgg16 --top 10 --sort tottime
+
+echo
 echo "== chaos replay: crash/SIGKILL/corruption recovery is bit-identical =="
 # Bounded by run_phase's PHASE_TIMEOUT like every other phase; artifacts
 # (checkpoints + report.json) land in CHAOS_ARTIFACTS so CI can upload

@@ -123,14 +123,31 @@ def brute_force_search(
         best = (best_time, CompressionStrategy(options=tuple(combo)))
         evaluator.evaluations += evaluations
     else:
+        # Walk the enumeration in blocks sharing everything but the
+        # last tensor (product order: last varies fastest) and price
+        # each block through the evaluator's batch layer.  ``bound`` is
+        # the running best: the scan only replaces on *strictly*
+        # smaller, so candidates a sound lower bound proves >= best are
+        # pruned without changing the winner or its tie-breaking.
         best: Optional[Tuple[float, CompressionStrategy]] = None
         evaluations = 0
-        for combo in itertools.product(options, repeat=n):
-            strategy = CompressionStrategy(options=combo)
-            iteration = evaluator.iteration_time(strategy)
-            evaluations += 1
-            if best is None or iteration < best[0]:
-                best = (iteration, strategy)
+        for prefix in itertools.product(options, repeat=n - 1):
+            base = CompressionStrategy(options=(*prefix, options[0]))
+            times = evaluator.price_options(
+                base,
+                n - 1,
+                options,
+                bound=best[0] if best is not None else None,
+            )
+            evaluations += len(options)
+            for option, iteration in zip(options, times):
+                if iteration is None:
+                    continue
+                if best is None or iteration < best[0]:
+                    best = (
+                        iteration,
+                        CompressionStrategy(options=(*prefix, option)),
+                    )
     seconds = time.perf_counter() - start
     return BruteForceResult(
         strategy=best[1],

@@ -158,13 +158,28 @@ def _print_stats(result) -> None:
     ]
     print(render_table(["counter", "value"], rows))
     print()
-    if stats.parallel_jobs > 1:
+    if stats.batch_calls:
+        batch_rows = [
+            ("pricing calls", f"{stats.batch_calls:,}"),
+            ("candidates priced", f"{stats.batch_candidates:,}"),
+            ("pruned by lower bound", f"{stats.batch_pruned:,} "
+                                      f"({stats.batch_prune_rate:.1%})"),
+            ("answered by dedup", f"{stats.batch_dedup_hits:,}"),
+            ("scalar fallbacks", f"{stats.batch_fallbacks:,}"),
+        ]
+        print(render_table(["batch pricing", "value"], batch_rows))
+        print()
+    if stats.parallel_requested > 1:
         worker_rows = [
-            ("worker pool width", f"{stats.parallel_jobs}"),
+            ("requested width", f"{stats.parallel_requested}"),
+            ("effective width", f"{stats.parallel_jobs}"),
             ("pricing tasks shipped", f"{stats.parallel_tasks:,}"),
             ("fan-out wait", f"{stats.fanout_seconds:.3f} s"),
             ("merge time", f"{stats.merge_seconds:.3f} s"),
         ]
+        if stats.parallel_disabled_reason:
+            worker_rows.append(("serial because",
+                                stats.parallel_disabled_reason))
         for pid, count in sorted(stats.worker_evaluations.items()):
             worker_rows.append((f"evaluations by worker {pid}", f"{count:,}"))
         print(render_table(["parallel", "value"], worker_rows))

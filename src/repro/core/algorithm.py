@@ -250,8 +250,7 @@ def gpu_compression_decision(
 
     def remove(current: CompressionStrategy) -> None:
         """Remove(): rule out uncompressed tensors before bubbles."""
-        timeline = evaluator.timeline(current)
-        before = tensors_before_bubbles(timeline, min_bubble=min_bubble)
+        before = evaluator.tensors_before_bubbles(current, min_bubble)
         for index in before:
             if index in remaining and not current[index].compresses:
                 remaining.discard(index)
@@ -269,6 +268,10 @@ def gpu_compression_decision(
             # (trial_time, canonical_key) and displaces the incumbent
             # only past IMPROVEMENT_EPSILON, so the decision does not
             # depend on candidate enumeration order.
+            # bound: a candidate is only *accepted* strictly below
+            # best_time - epsilon, so the batch layer may prune any
+            # candidate whose sound lower bound already reaches it —
+            # the decision (including ties) is bit-identical.
             best_option = strategy[index]
             priced = price_candidates(
                 evaluator,
@@ -276,6 +279,7 @@ def gpu_compression_decision(
                 index,
                 prefilter.for_size(evaluator.model.tensors[index].num_elements),
                 pool=pool,
+                bound=best_time - IMPROVEMENT_EPSILON,
             )
             if priced:
                 trial_time, _, option = best_priced(priced)
@@ -348,7 +352,12 @@ def refinement_sweep(
                 if canonical_key(option) != resident_key
             ]
             priced = price_candidates(
-                evaluator, strategy, index, options, pool=pool
+                evaluator,
+                strategy,
+                index,
+                options,
+                pool=pool,
+                bound=best_time - IMPROVEMENT_EPSILON,
             )
             if not priced:
                 continue

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.sim.engine import ScheduledStage, Timeline
-from repro.sim.stages import COMM, INTER, INTRA
+from repro.sim.stages import COMM, INTER, INTRA, RESOURCES
 
 #: Gaps shorter than this are scheduling noise (latency rounding), not
 #: bubbles a human would see on the timeline.
@@ -105,6 +105,91 @@ def tensors_before_bubbles(
                 continue  # tensor does not use this link
             gaps = bubbles.get(resource, [])
             if not any(start >= end - eps for start, _ in gaps):
+                shielded_everywhere = False
+                break
+        if shielded_everywhere:
+            before.add(tensor)
+    return before
+
+
+def tensors_before_bubbles_flat(
+    view: Tuple[
+        Sequence[int],
+        Sequence[int],
+        Sequence[int],
+        Sequence[float],
+        Sequence[float],
+        Sequence[bool],
+    ],
+    min_bubble: float = DEFAULT_MIN_BUBBLE,
+) -> Set[int]:
+    """:func:`tensors_before_bubbles` straight from flat task arrays.
+
+    ``view`` is ``(tensors, stage_indexes, resource_indexes, starts,
+    ends, comm_flags)`` — the shape
+    :meth:`repro.sim.incremental.IncrementalSimulator.task_view`
+    returns.  Decisions are bit-identical to running the Timeline
+    version on the same schedule: the starts and ends are the same
+    exact floats, the per-link walk visits stages in the same
+    ``(start, tensor, stage)`` order (task order is tensor-major, so a
+    stable sort by start reproduces it), and every threshold compare is
+    the same expression.  What this skips is materializing a
+    :class:`~repro.sim.engine.ScheduledStage` per task — Remove() runs
+    after every accepted greedy change, which made the object churn a
+    measurable slice of selection time on deep models.
+    """
+    tensors, ks, res, start, end, is_comm = view
+    n = len(tensors)
+    intra = RESOURCES.index(INTRA)
+    inter = RESOURCES.index(INTER)
+
+    first_on_link: Dict[Tuple[int, int], int] = {}
+    link_tasks: Dict[int, List[int]] = {intra: [], inter: []}
+    for t in range(n):
+        r = res[t]
+        if r == intra or r == inter:
+            key = (tensors[t], r)
+            current = first_on_link.get(key)
+            if current is None or ks[t] < current:
+                first_on_link[key] = ks[t]
+            link_tasks[r].append(t)
+
+    bubbles: Dict[int, List[Tuple[float, float]]] = {}
+    for r, tasks in link_tasks.items():
+        tasks.sort(key=start.__getitem__)
+        gaps: List[Tuple[float, float]] = []
+        cursor = 0.0
+        for t in tasks:
+            s = start[t]
+            if s - cursor >= min_bubble:
+                if first_on_link[(tensors[t], r)] == ks[t]:
+                    gaps.append((cursor, s))
+            e = end[t]
+            if e > cursor:
+                cursor = e
+        if gaps:
+            bubbles[r] = gaps
+
+    last_comm: Dict[Tuple[int, int], float] = {}
+    for t in range(n):
+        if not is_comm[t]:
+            continue
+        key = (tensors[t], res[t])
+        e = end[t]
+        prev = last_comm.get(key)
+        if prev is None or e > prev:
+            last_comm[key] = e
+
+    before: Set[int] = set()
+    eps = 1e-12
+    for tensor in {tensor for tensor, _ in last_comm}:
+        shielded_everywhere = True
+        for r in (intra, inter):
+            e = last_comm.get((tensor, r))
+            if e is None:
+                continue
+            gaps = bubbles.get(r, [])
+            if not any(s >= e - eps for s, _ in gaps):
                 shielded_everywhere = False
                 break
         if shielded_everywhere:

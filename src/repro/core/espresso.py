@@ -213,9 +213,13 @@ class Espresso:
 
     def _select_strategy(self, pool: Optional[EvaluatorPool]) -> EspressoResult:
         baseline_time = self.evaluator.iteration_time(self.evaluator.baseline())
-        self.evaluator.stats.parallel_jobs = (
+        stats = self.evaluator.stats
+        stats.parallel_requested = self.jobs
+        stats.parallel_jobs = (
             pool.jobs if pool is not None and pool.active else 1
         )
+        if pool is not None:
+            stats.parallel_disabled_reason = pool.disabled_reason
 
         start = time.perf_counter()
         gpu_result = gpu_compression_decision(
@@ -289,6 +293,12 @@ class Espresso:
             if not improved:
                 break
         refinement_seconds = time.perf_counter() - start
+
+        # Final honest parallel accounting: the pool may have degraded
+        # (or been clamped) after the initial snapshot above.
+        if pool is not None:
+            stats.parallel_jobs = pool.jobs if pool.active else 1
+            stats.parallel_disabled_reason = pool.disabled_reason
 
         return EspressoResult(
             strategy=strategy,

@@ -32,12 +32,13 @@ same results, one core.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompressionOption, canonical_key
 from repro.core.strategy import CompressionStrategy, StrategyEvaluator
@@ -191,11 +192,29 @@ class _EvalWorker:
 #: Installed by :func:`_init_evaluator_worker` in each pool process.
 _WORKER_STATE: Optional[_EvalWorker] = None
 
+#: Immutable per-pool state shared with fork-started workers: token ->
+#: (job, fast, check, vocab).  Under the fork start method a child
+#: inherits the parent's address space, so shipping a small integer
+#: token through ``initargs`` hands every worker the *same* objects for
+#: free — no per-pool pickling of the job/model/topology, and
+#: unpicklable jobs parallelize fine.  Pools unregister their token on
+#: close; spawn-based platforms keep using a pickle blob.
+_FORK_SHARED: Dict[int, tuple] = {}
+_fork_tokens = itertools.count(1)
 
-def _init_evaluator_worker(blob: bytes) -> None:
-    """Process-pool initializer: build this worker's evaluator replica."""
+
+def _init_evaluator_worker(payload) -> None:
+    """Process-pool initializer: build this worker's evaluator replica.
+
+    ``payload`` is either a :data:`_FORK_SHARED` token (fork start
+    method: state inherited, nothing deserialized) or a pickle blob
+    (spawn: self-contained).
+    """
     global _WORKER_STATE
-    job, fast, check, vocab = pickle.loads(blob)
+    if isinstance(payload, int):
+        job, fast, check, vocab = _FORK_SHARED[payload]
+    else:
+        job, fast, check, vocab = pickle.loads(payload)
     _WORKER_STATE = _EvalWorker(
         StrategyEvaluator(job, fast=fast, check=check), vocab
     )
@@ -232,26 +251,41 @@ class EvaluatorPool(WorkerPool):
             canonical_key(option): position
             for position, option in enumerate(self.vocab)
         }
+        self._fork_token: Optional[int] = None
         if jobs > 1 and job is not None:
-            try:
-                blob = pickle.dumps(
-                    (job, fast, check, tuple(self.vocab)),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            except Exception as error:  # unpicklable config => in-process
-                super().__init__(1)
-                self.disabled_reason = (
-                    f"job/vocabulary not picklable ({error}); running serial"
-                )
-                return
+            state = (job, fast, check, tuple(self.vocab))
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Fork-inherited shared state: workers read the parent's
+                # objects directly, nothing is serialized per pool/task.
+                self._fork_token = next(_fork_tokens)
+                _FORK_SHARED[self._fork_token] = state
+                payload = self._fork_token
+            else:
+                try:
+                    payload = pickle.dumps(
+                        state, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except Exception as error:  # unpicklable => in-process
+                    super().__init__(1)
+                    self.disabled_reason = (
+                        f"job/vocabulary not picklable ({error}); "
+                        "running serial"
+                    )
+                    return
             super().__init__(
                 jobs,
                 initializer=_init_evaluator_worker,
-                initargs=(blob,),
+                initargs=(payload,),
                 oversubscribe=oversubscribe,
             )
         else:
             super().__init__(1)
+
+    def close(self) -> None:
+        super().close()
+        if self._fork_token is not None:
+            _FORK_SHARED.pop(self._fork_token, None)
+            self._fork_token = None
 
     def encode_options(self, options: Sequence[CompressionOption]) -> Tuple:
         """Options as vocabulary positions (raw objects off-vocabulary)."""
@@ -262,8 +296,13 @@ class EvaluatorPool(WorkerPool):
 
 
 def _price_task(task):
-    """Worker: price a chunk of candidate options for one tensor."""
-    encoded_base, index, encoded_options = task
+    """Worker: price a chunk of candidate options for one tensor.
+
+    Pruned candidates come back as ``None`` times — the parent drops
+    them, which is sound because the shared ``bound`` proves they cannot
+    win the merge (see :meth:`StrategyEvaluator.price_options`).
+    """
+    encoded_base, index, encoded_options, bound = task
     worker = _WORKER_STATE
     vocab = worker.vocab
     evaluator = worker.evaluator
@@ -271,10 +310,12 @@ def _price_task(task):
         options=tuple(_decode_option(entry, vocab) for entry in encoded_base)
     )
     before = evaluator.evaluations
-    times = [
-        evaluator.iteration_time_delta(base, index, _decode_option(entry, vocab))
-        for entry in encoded_options
-    ]
+    times = evaluator.price_options(
+        base,
+        index,
+        [_decode_option(entry, vocab) for entry in encoded_options],
+        bound=bound,
+    )
     return times, evaluator.evaluations - before, os.getpid()
 
 
@@ -284,33 +325,41 @@ def price_candidates(
     index: int,
     options: Sequence[CompressionOption],
     pool: Optional[EvaluatorPool] = None,
+    bound: Optional[float] = None,
 ) -> List[PricedOption]:
     """Price every candidate for tensor ``index`` against ``base``.
 
     Returns ``[(trial_time, canonical_key, option), ...]`` — the input
-    of :func:`best_priced`.  With an active pool and enough candidates
-    the pricing fans out to per-worker evaluator replicas; results are
-    bit-identical to the in-process path (exact simulation both sides),
-    and all keys are computed by the calling process.
+    of :func:`best_priced`.  With ``bound`` given, candidates whose
+    sound lower bound reaches it are omitted from the result; callers
+    that only *accept* times strictly below ``bound`` (GetBestOption and
+    the refinement sweep, via ``best_time - IMPROVEMENT_EPSILON``) get a
+    bit-identical decision either way.  With an active pool and enough
+    candidates the pricing fans out to per-worker evaluator replicas;
+    results are bit-identical to the in-process path (exact simulation
+    and identical pruning bounds both sides), and all keys are computed
+    by the calling process.
     """
     options = list(options)
+    if not options:
+        return []
     if (
         pool is None
         or not pool.active
         or len(options) < MIN_FANOUT_CANDIDATES
     ):
+        times = evaluator.price_options(base, index, options, bound=bound)
         return [
-            (
-                evaluator.iteration_time_delta(base, index, option),
-                canonical_key(option),
-                option,
-            )
-            for option in options
+            (trial_time, canonical_key(option), option)
+            for trial_time, option in zip(times, options)
+            if trial_time is not None
         ]
     try:
-        return _price_parallel(evaluator, base, index, options, pool)
+        return _price_parallel(evaluator, base, index, options, pool, bound)
     except WorkerPoolError:
-        return price_candidates(evaluator, base, index, options, pool=None)
+        return price_candidates(
+            evaluator, base, index, options, pool=None, bound=bound
+        )
 
 
 def _price_parallel(
@@ -319,6 +368,7 @@ def _price_parallel(
     index: int,
     options: List[CompressionOption],
     pool: EvaluatorPool,
+    bound: Optional[float],
 ) -> List[PricedOption]:
     stats = evaluator.stats
     encoded_base = pool.encode_options(base.options)
@@ -336,14 +386,15 @@ def _price_parallel(
     fanout_start = time.perf_counter()
     results = pool.run(
         _price_task,
-        [(encoded_base, index, encoded[a:b]) for a, b in spans],
+        [(encoded_base, index, encoded[a:b], bound) for a, b in spans],
     )
     stats.fanout_seconds += time.perf_counter() - fanout_start
     merge_start = time.perf_counter()
     priced: List[PricedOption] = []
     for (a, b), (times, worker_evals, worker_pid) in zip(spans, results):
         for option, trial_time in zip(options[a:b], times):
-            priced.append((trial_time, canonical_key(option), option))
+            if trial_time is not None:
+                priced.append((trial_time, canonical_key(option), option))
         evaluator.evaluations += worker_evals
         pid = str(worker_pid)
         stats.worker_evaluations[pid] = (
@@ -363,20 +414,40 @@ def _bruteforce_range_task(task):
     Enumeration index ``i`` maps to the i-th element of
     ``itertools.product(vocab, repeat=n)`` (last tensor varies fastest);
     the local winner keeps the *smallest* index on exact time ties,
-    matching the serial first-strictly-smaller scan.
+    matching the serial first-strictly-smaller scan.  The slice is
+    walked in blocks that share everything but the last tensor, priced
+    through the evaluator's batch layer with ``bound`` set to the
+    running best: a pruned candidate's time is provably ``>= best`` and
+    the serial scan only replaces on *strictly* smaller, so the winner
+    (time, index) is unchanged.
     """
     start, stop, n = task
     evaluator, vocab = _WORKER_STATE.evaluator, _WORKER_STATE.vocab
     k = len(vocab)
-    weights = [k ** (n - 1 - j) for j in range(n)]
     before = evaluator.evaluations
     best_time: Optional[float] = None
     best_index = -1
-    for i in range(start, stop):
-        combo = tuple(vocab[(i // weight) % k] for weight in weights)
-        trial = evaluator.iteration_time(CompressionStrategy(options=combo))
-        if best_time is None or trial < best_time:
-            best_time, best_index = trial, i
+    i = start
+    while i < stop:
+        block = (i // k) * k
+        lo = i - block
+        hi = min(stop - block, k)
+        prefix = []
+        remainder = block // k
+        for j in range(n - 1):
+            weight = k ** (n - 2 - j)
+            prefix.append(vocab[remainder // weight])
+            remainder %= weight
+        base = CompressionStrategy(options=(*prefix, vocab[0]))
+        times = evaluator.price_options(
+            base, n - 1, vocab[lo:hi], bound=best_time
+        )
+        for offset, trial in enumerate(times):
+            if trial is None:
+                continue
+            if best_time is None or trial < best_time:
+                best_time, best_index = trial, block + lo + offset
+        i = block + hi
     return best_time, best_index, evaluator.evaluations - before, os.getpid()
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
+from repro.sim import batch as _batch
 from repro.core.options import (
     CompressionOption,
     Device,
@@ -138,7 +139,21 @@ class EvaluatorStats:
         events_full: completion events processed by full/base simulations.
         events_replayed: completion events processed during swap replays.
         events_reused: completion events skipped via checkpoint restore.
-        parallel_jobs: worker-pool width the planner ran with (1 = serial).
+        batch_calls: ``price_options`` invocations (one per tensor whose
+            candidate set was priced as a batch).
+        batch_candidates: candidates submitted across all batch calls.
+        batch_pruned: candidates skipped because a sound vectorized
+            lower bound proved they cannot beat the caller's bound
+            (DESIGN.md §5.7); no simulation ran and no time is reported.
+        batch_dedup_hits: candidates answered by another candidate of
+            the *same call* that compiles to an identical stage chain.
+        batch_fallbacks: candidates the vectorized batch walk handed
+            back to the scalar replay (order-divergence or guard).
+        parallel_jobs: effective worker-pool width (after the core-count
+            clamp and any mid-run pool failure; 1 = serial).
+        parallel_requested: the width the caller asked for (``--jobs``).
+        parallel_disabled_reason: why the pool ran serially or shut
+            down, when it did (``None`` while the pool is healthy).
         parallel_tasks: fan-out tasks shipped to the worker pool.
         fanout_seconds: wall-clock spent waiting on fanned-out pricing.
         merge_seconds: wall-clock spent decoding/merging worker results.
@@ -156,7 +171,14 @@ class EvaluatorStats:
     events_full: int = 0
     events_replayed: int = 0
     events_reused: int = 0
+    batch_calls: int = 0
+    batch_candidates: int = 0
+    batch_pruned: int = 0
+    batch_dedup_hits: int = 0
+    batch_fallbacks: int = 0
     parallel_jobs: int = 1
+    parallel_requested: int = 1
+    parallel_disabled_reason: Optional[str] = None
     parallel_tasks: int = 0
     fanout_seconds: float = 0.0
     merge_seconds: float = 0.0
@@ -166,6 +188,13 @@ class EvaluatorStats:
     def cache_hit_rate(self) -> float:
         """Fraction of F(S) requests answered without any simulation."""
         return self.cache_hits / self.fs_calls if self.fs_calls else 0.0
+
+    @property
+    def batch_prune_rate(self) -> float:
+        """Fraction of batch candidates eliminated by lower bounds."""
+        if not self.batch_candidates:
+            return 0.0
+        return self.batch_pruned / self.batch_candidates
 
     @property
     def prefix_reuse_fraction(self) -> float:
@@ -222,10 +251,26 @@ class StrategyEvaluator:
         self.timelines_checked = 0
         self.evaluations = 0  # F(S) computations, reported in Table 5
         self.stats = EvaluatorStats()
-        #: Memoized makespans keyed by strategy fingerprint.
+        #: Memoized makespans keyed by *chain* fingerprint — the tuple
+        #: of per-tensor stage-chain keys (see :meth:`_chain_key`).
+        #: Coarser than the option fingerprint, and provably safe: the
+        #: makespan is a function of the stage chains and the resource
+        #: capacities alone, so option values that compile to identical
+        #: chains (e.g. the same pipeline reached through different
+        #: option fields) share one memo entry.  Residency
+        #: (``_inc_fp``) and timelines stay keyed by *option*
+        #: fingerprint — stage kinds/labels can differ between
+        #: chain-equal options and timelines expose them.
         self._memo: Dict[Tuple[int, ...], float] = {}
+        #: Interning table: (resource tuple, duration tuple) -> chain key.
+        #: Evaluator-local on purpose — chain keys depend on this job's
+        #: compiled stage durations, so they must never be cached on
+        #: (shared) strategy or option objects.
+        self._chain_sig_intern: Dict[tuple, int] = {}
+        self._chain_key_cache: Dict[Tuple[int, int], int] = {}
         self._inc: Optional[IncrementalSimulator] = None
         self._inc_fp: Optional[Tuple[int, ...]] = None
+        self._inc_cfp: Optional[Tuple[int, ...]] = None
 
     # -- chain construction ---------------------------------------------
 
@@ -283,6 +328,36 @@ class StrategyEvaluator:
 
     # -- fast evaluation layer ------------------------------------------
 
+    def _chain_key(self, index: int, option: CompressionOption) -> int:
+        """The interned key of tensor ``index``'s stage chain under
+        ``option``: equal iff the flattened (resources, durations) chains
+        are equal.  Two option values with different canonical keys can
+        share a chain key — that is the point (see ``_memo``)."""
+        key = (canonical_key(option), index)
+        chain_key = self._chain_key_cache.get(key)
+        if chain_key is None:
+            res, dur = self._flat_chain(index, option)
+            signature = (tuple(res), tuple(dur))
+            chain_key = self._chain_sig_intern.setdefault(
+                signature, len(self._chain_sig_intern)
+            )
+            self._chain_key_cache[key] = chain_key
+        return chain_key
+
+    def _chain_fingerprint(
+        self, strategy: CompressionStrategy
+    ) -> Tuple[int, ...]:
+        """The strategy's chain fingerprint — the F(S) memo key."""
+        if len(strategy) != self.model.num_tensors:
+            raise ValueError(
+                f"strategy covers {len(strategy)} tensors, "
+                f"model has {self.model.num_tensors}"
+            )
+        return tuple(
+            self._chain_key(index, option)
+            for index, option in enumerate(strategy.options)
+        )
+
     def _rebase(self, fingerprint: Tuple[int, ...], strategy: CompressionStrategy) -> None:
         """Make ``strategy`` the resident base of the incremental engine."""
         self.stats.rebases += 1
@@ -293,7 +368,8 @@ class StrategyEvaluator:
             stats=self.stats,
         )
         self._inc_fp = fingerprint
-        self._memo[fingerprint] = self._inc.base_makespan
+        self._inc_cfp = self._chain_fingerprint(strategy)
+        self._memo[self._inc_cfp] = self._inc.base_makespan
 
     def _fast_makespan(
         self, fingerprint: Tuple[int, ...], strategy: CompressionStrategy
@@ -327,28 +403,31 @@ class StrategyEvaluator:
     ) -> float:
         """Makespan of ``base`` with ``replacements`` applied, memoized."""
         self._ensure_base(base_fp, base)
+        base_cfp = self._inc_cfp
         if len(replacements) == 1:
             # GetBestOption/sweep hot path: one replaced tensor.
             index, option = replacements[0]
-            key = canonical_key(option)
-            if base_fp[index] == key:
+            key = self._chain_key(index, option)
+            if base_cfp[index] == key:
+                # Chain-equal to the resident option (covers option
+                # equality and distinct options compiling identically).
                 self.stats.cache_hits += 1
                 return self._inc.base_makespan
             changed = [(index, option)]
-            trial_fp = base_fp[:index] + (key,) + base_fp[index + 1 :]
+            trial_cfp = base_cfp[:index] + (key,) + base_cfp[index + 1 :]
         else:
-            trial_list = list(base_fp)
+            trial_list = list(base_cfp)
             changed = []
             for index, option in replacements:
-                key = canonical_key(option)
+                key = self._chain_key(index, option)
                 if trial_list[index] != key:
                     trial_list[index] = key
                     changed.append((index, option))
             if not changed:
                 self.stats.cache_hits += 1
                 return self._inc.base_makespan
-            trial_fp = tuple(trial_list)
-        makespan = self._memo.get(trial_fp)
+            trial_cfp = tuple(trial_list)
+        makespan = self._memo.get(trial_cfp)
         if makespan is not None:
             self.stats.cache_hits += 1
             return makespan
@@ -356,8 +435,154 @@ class StrategyEvaluator:
         makespan = self._inc.swap_chains_flat(
             [(index, *self._flat_chain(index, option)) for index, option in changed]
         )
-        self._memo[trial_fp] = makespan
+        self._memo[trial_cfp] = makespan
         return makespan
+
+    #: Below this many distinct chains the vectorized batch walk's setup
+    #: cost exceeds the scalar replays it replaces.
+    _BATCH_MIN_UNIQUE = 6
+
+    def price_options(
+        self,
+        base: CompressionStrategy,
+        index: int,
+        options: Sequence[CompressionOption],
+        bound: Optional[float] = None,
+    ) -> List[Optional[float]]:
+        """Batch F(S): ``base`` with tensor ``index`` assigned each option.
+
+        The batched analogue of calling :meth:`iteration_time_delta` per
+        option (DESIGN.md §5.7): one entry per option, every returned
+        float bit-identical to the scalar path.  Candidates compiling to
+        identical stage chains are simulated once; the rest go through
+        the vectorized batch walk when there are enough of them (scalar
+        replays otherwise — and the walk itself re-prices any candidate
+        whose dispatch order diverges from its representative).
+
+        With ``bound`` given, the caller declares it is *min-taking*: it
+        only accepts times strictly below ``bound`` and resolves exact
+        time ties by canonical key (or first index).  Candidates whose
+        *sound lower bound* (:func:`repro.sim.batch.suffix_lower_bounds`)
+        proves they cannot win under those rules — the bound reaches
+        ``bound``, or another candidate in the batch already priced
+        strictly below it — are returned as ``None`` instead of a time:
+        the alpha-beta-style cut that makes GetBestOption and the
+        refinement sweeps cheap once the incumbent is good.  The batch
+        minimum and every candidate tying it always come back exact, so
+        the winner and its tie-breaking are bit-identical to pricing
+        everything.  Callers that need every exact time must pass
+        ``bound=None``.
+        """
+        options = list(options)
+        count = len(options)
+        self.evaluations += count
+        stats = self.stats
+        stats.fs_calls += count
+        stats.batch_calls += 1
+        stats.batch_candidates += count
+        forward = self.model.forward_time
+        if not self.fast:
+            stats.full_sims += count
+            return [
+                forward
+                + simulate_makespan(
+                    self._chains(base.replace(index, option)),
+                    cpu_capacity=self._cpu_capacity,
+                )
+                for option in options
+            ]
+        self._ensure_base(base.fingerprint(), base)
+        inc = self._inc
+        base_cfp = self._inc_cfp
+        resident_key = base_cfp[index]
+        base_time = forward + inc.base_makespan
+        results: List[Optional[float]] = [None] * count
+        # One entry per distinct trial chain, in first-encounter order:
+        # chain key -> (flat chain, trial chain fingerprint, slots).
+        unique: Dict[int, Tuple[tuple, Tuple[int, ...], List[int]]] = {}
+        for j, option in enumerate(options):
+            chain_key = self._chain_key(index, option)
+            if chain_key == resident_key:
+                stats.cache_hits += 1
+                results[j] = base_time
+                continue
+            entry = unique.get(chain_key)
+            if entry is not None:
+                stats.batch_dedup_hits += 1
+                entry[2].append(j)
+                continue
+            trial_cfp = (
+                base_cfp[:index] + (chain_key,) + base_cfp[index + 1 :]
+            )
+            makespan = self._memo.get(trial_cfp)
+            if makespan is not None:
+                stats.cache_hits += 1
+                results[j] = forward + makespan
+                continue
+            unique[chain_key] = (
+                self._flat_chain(index, option),
+                trial_cfp,
+                [j],
+            )
+        pending = list(unique.values())
+        bounds = None
+        if bound is not None and pending:
+            bounds = _batch.suffix_lower_bounds(
+                inc, index, [entry[0] for entry in pending]
+            )
+        if bounds is not None:
+            # Best-first scan with two sound cuts.  A candidate is
+            # skipped (returned as None) when its lower bound proves it
+            # cannot matter to a min-taking caller:
+            #   1. ``forward + lb >= bound`` — the caller rejects any
+            #      time reaching ``bound``, so the exact value (>= lb)
+            #      is irrelevant.
+            #   2. ``lb > best_seen`` — some other candidate in this
+            #      very batch already priced *strictly* below lb, so
+            #      this one can neither win nor tie the batch minimum.
+            # Cut 2 is why the scan runs in ascending-lb order: the
+            # likely winner is priced first and everything above it
+            # falls.  Strictness keeps exact time ties intact — a tying
+            # candidate's lb never exceeds the tied value — so the
+            # (time, key) tie-breaking downstream sees every tie.
+            bound_makespan = bound - forward
+            best_seen = min(
+                (time - forward for time in results if time is not None),
+                default=None,
+            )
+            for position in sorted(
+                range(len(pending)), key=lambda i: bounds[i]
+            ):
+                flat, trial_cfp, slots = pending[position]
+                lb = bounds[position]
+                if lb >= bound_makespan or (
+                    best_seen is not None and lb > best_seen
+                ):
+                    stats.batch_pruned += len(slots)
+                    continue
+                stats.incremental_sims += 1
+                makespan = inc.swap_chains_flat([(index, *flat)])
+                self._memo[trial_cfp] = makespan
+                for j in slots:
+                    results[j] = forward + makespan
+                if best_seen is None or makespan < best_seen:
+                    best_seen = makespan
+            return results
+        if len(pending) >= self._BATCH_MIN_UNIQUE and _batch.numpy_available():
+            stats.incremental_sims += len(pending)
+            makespans = _batch.batch_swap_makespans(
+                inc, index, [entry[0] for entry in pending]
+            )
+        else:
+            makespans = []
+            for flat, _, _ in pending:
+                stats.incremental_sims += 1
+                makespans.append(inc.swap_chains_flat([(index, *flat)]))
+        for (flat, trial_cfp, slots), makespan in zip(pending, makespans):
+            self._memo[trial_cfp] = makespan
+            for j in slots:
+                results[j] = forward + makespan
+        return results
 
     # -- public API ------------------------------------------------------
 
@@ -388,6 +613,35 @@ class StrategyEvaluator:
             self.timelines_checked += 1
         return timeline
 
+    def tensors_before_bubbles(
+        self, strategy: CompressionStrategy, min_bubble: float
+    ) -> set:
+        """Remove()'s bubble shield for ``strategy``.
+
+        Bit-identical to ``tensors_before_bubbles(self.timeline(...))``
+        but, with the fast layer resident and conformance checking off,
+        computed straight from the incremental engine's task arrays —
+        no :class:`ScheduledStage` churn.  The counters move exactly as
+        the Timeline path moves them, so ``plan --stats`` reads the
+        same either way; in ``check`` mode the Timeline path is kept so
+        every timeline the planner consults is still validated.
+        """
+        from repro.core.bubbles import (
+            tensors_before_bubbles,
+            tensors_before_bubbles_flat,
+        )
+
+        if self.fast and not self.check:
+            self.evaluations += 1
+            self.stats.timelines += 1
+            self._ensure_base(strategy.fingerprint(), strategy)
+            return tensors_before_bubbles_flat(
+                self._inc.task_view(), min_bubble
+            )
+        return tensors_before_bubbles(
+            self.timeline(strategy), min_bubble=min_bubble
+        )
+
     def chains(self, strategy: CompressionStrategy) -> List[TensorChain]:
         """The per-tensor stage chains ``strategy`` compiles to.
 
@@ -414,12 +668,13 @@ class StrategyEvaluator:
             )
             return self.model.forward_time + makespan
         fingerprint = strategy.fingerprint()
-        makespan = self._memo.get(fingerprint)
+        chain_fp = self._chain_fingerprint(strategy)
+        makespan = self._memo.get(chain_fp)
         if makespan is not None:
             self.stats.cache_hits += 1
         else:
             makespan = self._fast_makespan(fingerprint, strategy)
-            self._memo[fingerprint] = makespan
+            self._memo[chain_fp] = makespan
         return self.model.forward_time + makespan
 
     def iteration_time_delta(

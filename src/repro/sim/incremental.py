@@ -33,7 +33,7 @@ from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import ScheduledStage, Timeline
-from repro.sim.stages import CPU, RESOURCES, Stage, TensorChain
+from repro.sim.stages import COMM, CPU, RESOURCES, Stage, TensorChain
 
 #: Scheduler snapshot: (free workers, ready heaps, in-flight events,
 #: makespan so far, dispatch sequence counter, completions processed).
@@ -99,6 +99,7 @@ class IncrementalSimulator:
         resources: List[int] = []
         tensors: List[int] = []
         ks: List[int] = []
+        is_comm: List[bool] = []
         next_in_chain: List[int] = []
         compute_succ: List[int] = []
         rank: List[int] = []
@@ -118,6 +119,7 @@ class IncrementalSimulator:
                 resources.append(self._res_index[stage.resource])
                 tensors.append(chain.tensor_index)
                 ks.append(k)
+                is_comm.append(stage.kind == COMM)
                 rank.append(
                     chain.tensor_index << (_K_BITS + _TID_BITS)
                     | k << _TID_BITS
@@ -155,10 +157,17 @@ class IncrementalSimulator:
         self._s1_rank = s1_rank
         self._s2_heap = s2_heap
         self._s2_rank = s2_rank
+        # Completion record per task, consumed by the event loops: one
+        # list index + a C-level tuple unpack replaces five separate
+        # array lookups per completed event in the replay hot path.  The
+        # flat arrays above stay authoritative (the batch layer reads
+        # them); swaps keep both in step.
+        self._post = list(zip(resources, s1_heap, s1_rank, s2_heap, s2_rank))
         self._durations = durations
         self._resources = resources
         self._tensors = tensors
         self._ks = ks
+        self._is_comm = is_comm
         self._rank = rank
         self._next_in_chain = next_in_chain
         self._compute_succ = compute_succ
@@ -200,10 +209,7 @@ class IncrementalSimulator:
         durations = self._durations
         resources = self._resources
         rank = self._rank
-        s1_heap = self._s1_heap
-        s1_rank = self._s1_rank
-        s2_heap = self._s2_heap
-        s2_rank = self._s2_rank
+        post = self._post
         end_time = self._end_time
         start_time = self._start_time
         heappush = heapq.heappush
@@ -267,13 +273,12 @@ class IncrementalSimulator:
                 tid = heappop(events)[1] & tid_mask
                 events_done += 1
                 end_time[tid] = now
-                free[resources[tid]] += 1
-                h = s1_heap[tid]
-                if h is not None:
-                    heappush(h, (now, s1_rank[tid]))
-                h = s2_heap[tid]
-                if h is not None:
-                    heappush(h, (now, s2_rank[tid]))
+                r, h1, rk1, h2, rk2 = post[tid]
+                free[r] += 1
+                if h1 is not None:
+                    heappush(h1, (now, rk1))
+                if h2 is not None:
+                    heappush(h2, (now, rk2))
             for r in range(n_res):
                 heap = ready[r]
                 while heap and free[r] > 0:
@@ -324,6 +329,27 @@ class IncrementalSimulator:
             prev_compute_end = end_time[t0]
         scheduled.sort(key=lambda s: (s.start, s.tensor_index, s.stage_index))
         return Timeline(stages=tuple(scheduled), makespan=self.base_makespan)
+
+    def task_view(
+        self,
+    ) -> Tuple[
+        List[int], List[int], List[int], List[float], List[float], List[bool]
+    ]:
+        """Parallel per-task arrays of the base schedule, for flat
+        analyses that do not need :class:`ScheduledStage` objects:
+        ``(tensors, stage_indexes, resource_indexes, starts, ends,
+        comm_flags)``.  Starts and ends are the exact event-loop floats.
+        The lists are the live resident arrays — callers must not mutate
+        them or hold them across a rebase.
+        """
+        return (
+            self._tensors,
+            self._ks,
+            self._resources,
+            self._start_time,
+            self._end_time,
+            self._is_comm,
+        )
 
     # -- swaps -----------------------------------------------------------
 
@@ -382,11 +408,12 @@ class IncrementalSimulator:
         s1_rank = self._s1_rank
         s2_heap = self._s2_heap
         s2_rank = self._s2_rank
+        post = self._post
         ready = self._ready
         n_base = self._num_tasks
         res_index = self._res_index
         seen = set()
-        saved: List[Tuple[int, int, int, int]] = []
+        saved: List[Tuple[int, int, int, int, tuple]] = []
         t_influence = float("inf")
         guard: Optional[set] = set() if len(replacements) > 1 else None
         try:
@@ -431,6 +458,7 @@ class IncrementalSimulator:
                         next_in_chain[tlast],
                         s1_heap[tlast],
                         s1_rank[tlast],
+                        post[tlast],
                     )
                 )
                 if guard is not None:
@@ -463,8 +491,13 @@ class IncrementalSimulator:
                     for t in range(start_id, start_id + n_new - 1):
                         s1_heap.append(ready[resources[t + 1]])
                         s1_rank.append(rank[t + 1])
+                        post.append(
+                            (resources[t], s1_heap[t], s1_rank[t], None, 0)
+                        )
                     s1_heap.append(None)
                     s1_rank.append(0)
+                    last = start_id + n_new - 1
+                    post.append((resources[last], None, 0, None, 0))
                     next_in_chain[tlast] = start_id
                     s1_heap[tlast] = ready[resources[start_id]]
                     s1_rank[tlast] = rank[start_id]
@@ -472,6 +505,13 @@ class IncrementalSimulator:
                     next_in_chain[tlast] = -1
                     s1_heap[tlast] = None
                     s1_rank[tlast] = 0
+                post[tlast] = (
+                    resources[tlast],
+                    s1_heap[tlast],
+                    s1_rank[tlast],
+                    s2_heap[tlast],
+                    s2_rank[tlast],
+                )
             if not saved:
                 return self.base_makespan
             ci = bisect_right(self._cp_times, t_influence) - 1
@@ -488,10 +528,12 @@ class IncrementalSimulator:
             del s1_rank[n_base:]
             del s2_heap[n_base:]
             del s2_rank[n_base:]
-            for tlast, old_nic, old_heap, old_rank in saved:
+            del post[n_base:]
+            for tlast, old_nic, old_heap, old_rank, old_post in saved:
                 next_in_chain[tlast] = old_nic
                 s1_heap[tlast] = old_heap
                 s1_rank[tlast] = old_rank
+                post[tlast] = old_post
 
     def _state_key(self, ci: int) -> tuple:
         """Order-insensitive form of checkpoint ``ci``'s scheduler state.
@@ -514,11 +556,7 @@ class IncrementalSimulator:
 
     def _replay(self, ci: int, guard: Optional[set]) -> float:
         durations = self._durations
-        resources = self._resources
-        s1_heap = self._s1_heap
-        s1_rank = self._s1_rank
-        s2_heap = self._s2_heap
-        s2_rank = self._s2_rank
+        post = self._post
         heappush = heapq.heappush
         heappop = heapq.heappop
         tid_mask = _TID_MASK
@@ -598,25 +636,23 @@ class IncrementalSimulator:
             if guard:
                 while events and events[0][0] == now:
                     tid = heappop(events)[1] & tid_mask
-                    free[resources[tid]] += 1
                     if tid in guard:
                         guard.discard(tid)
-                    h = s1_heap[tid]
-                    if h is not None:
-                        heappush(h, (now, s1_rank[tid]))
-                    h = s2_heap[tid]
-                    if h is not None:
-                        heappush(h, (now, s2_rank[tid]))
+                    r, h1, rk1, h2, rk2 = post[tid]
+                    free[r] += 1
+                    if h1 is not None:
+                        heappush(h1, (now, rk1))
+                    if h2 is not None:
+                        heappush(h2, (now, rk2))
             else:
                 while events and events[0][0] == now:
                     tid = heappop(events)[1] & tid_mask
-                    free[resources[tid]] += 1
-                    h = s1_heap[tid]
-                    if h is not None:
-                        heappush(h, (now, s1_rank[tid]))
-                    h = s2_heap[tid]
-                    if h is not None:
-                        heappush(h, (now, s2_rank[tid]))
+                    r, h1, rk1, h2, rk2 = post[tid]
+                    free[r] += 1
+                    if h1 is not None:
+                        heappush(h1, (now, rk1))
+                    if h2 is not None:
+                        heappush(h2, (now, rk2))
             if ready0 and free[0]:
                 fr = free[0]
                 while ready0 and fr:

@@ -155,10 +155,12 @@ def test_tie_break_independent_of_candidate_order(medium_job, monkeypatch):
         evaluator = StrategyEvaluator(medium_job)
         base = evaluator.baseline()
         tied_time = evaluator.iteration_time(base) - 1.0
+        # Patch the pricing seam the decision loops consume (the batch
+        # layer would otherwise simulate — and prune — for real).
         monkeypatch.setattr(
             evaluator,
-            "iteration_time_delta",
-            lambda b, i, o, _t=tied_time: _t,
+            "price_options",
+            lambda b, i, opts, bound=None, _t=tied_time: [_t] * len(opts),
         )
         swept, swept_time, improved = refinement_sweep(
             evaluator, base, ordered, prefilter_per_device=0
@@ -179,8 +181,9 @@ def test_sub_epsilon_improvement_is_rejected(medium_evaluator, monkeypatch):
     best = medium_evaluator.iteration_time(base)
     monkeypatch.setattr(
         medium_evaluator,
-        "iteration_time_delta",
-        lambda b, i, o: best - IMPROVEMENT_EPSILON / 2,
+        "price_options",
+        lambda b, i, opts, bound=None: [best - IMPROVEMENT_EPSILON / 2]
+        * len(opts),
     )
     swept, swept_time, improved = refinement_sweep(
         medium_evaluator, base, device_candidate_options()

@@ -113,3 +113,35 @@ def test_self_inflicted_gap_is_not_a_bubble(small_cluster):
             assert not (
                 t1_inter[0].end - 1e-12 <= start and end <= t1_inter[1].start + 1e-12
             )
+
+
+def test_flat_bubble_shield_matches_timeline_path(medium_job):
+    """Remove()'s fast path (flat arrays off the incremental engine)
+    returns the exact set the Timeline-based detector returns, for every
+    evaluator mode and across strategies and thresholds."""
+    from repro.core.algorithm import device_candidate_options
+    from repro.core.bubbles import tensors_before_bubbles_flat
+
+    fast = StrategyEvaluator(medium_job, fast=True)
+    slow = StrategyEvaluator(medium_job, fast=False)
+    checked = StrategyEvaluator(medium_job, fast=True, check=True)
+    options = device_candidate_options()
+    strategies = [fast.baseline()]
+    for spread, option in enumerate(options):
+        strategies.append(
+            strategies[0].replace(spread % medium_job.model.num_tensors, option)
+        )
+    for strategy in strategies:
+        for min_bubble in (0.0, 1e-4, 5.0):
+            expected = tensors_before_bubbles(
+                slow.timeline(strategy), min_bubble=min_bubble
+            )
+            assert fast.tensors_before_bubbles(strategy, min_bubble) == expected
+            assert checked.tensors_before_bubbles(strategy, min_bubble) == (
+                expected
+            )
+            # The flat detector itself, straight off the engine's arrays.
+            fast._ensure_base(strategy.fingerprint(), strategy)
+            assert tensors_before_bubbles_flat(
+                fast._inc.task_view(), min_bubble=min_bubble
+            ) == expected

@@ -93,11 +93,39 @@ def test_pool_failure_disables_permanently():
         assert "ValueError" in pool.disabled_reason
 
 
-def test_evaluator_pool_degrades_on_unpicklable_job():
+def test_evaluator_pool_degrades_on_unpicklable_job(monkeypatch):
+    """Spawn-only hosts must ship the job by pickle, so an unpicklable
+    job degrades the pool to serial with a readable reason."""
+    import repro.core.parallel as parallel_module
+
+    monkeypatch.setattr(
+        parallel_module.multiprocessing,
+        "get_all_start_methods",
+        lambda: ["spawn"],
+    )
     pool = EvaluatorPool(2, job=lambda: None, vocab=[])
     assert not pool.active
     assert pool.jobs == 1
     assert "picklable" in pool.disabled_reason
+
+
+def test_evaluator_pool_fork_shares_unpicklable_job():
+    """Fork hosts hand workers the parent's objects directly via the
+    fork-shared registry — no pickling, so even an unpicklable job
+    parallelizes.  The registry entry is released on close()."""
+    import multiprocessing
+
+    import repro.core.parallel as parallel_module
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("host has no fork start method")
+    pool = EvaluatorPool(2, job=lambda: None, vocab=[], oversubscribe=True)
+    try:
+        assert pool.active
+        assert pool._fork_token in parallel_module._FORK_SHARED
+    finally:
+        pool.close()
+    assert pool._fork_token not in parallel_module._FORK_SHARED
 
 
 def test_best_priced_total_order():
