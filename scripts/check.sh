@@ -72,6 +72,19 @@ run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
     --machines 2 --gpus 4 --robust | grep "Robust selection"
 
 echo
+echo "== fusion equivalence: fused plans bit-identical + conformant =="
+# Fused vs unfused single-tensor-group plans are bit-identical, fused
+# timelines pass the unmodified invariant battery + differential
+# oracle, --jobs N fusion search matches serial, and stale plan
+# artifacts are refused with exit 2.
+run_phase python -m pytest -q tests/core/test_fusion.py -m ''
+
+echo
+echo "== fusion planner: plan --fusion --check smoke =="
+run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
+    --machines 2 --gpus 4 --fusion --check | grep "conformance:"
+
+echo
 echo "== parallel equivalence: --jobs N bit-identical to serial (zoo) =="
 run_phase python -m pytest -q tests/core/test_parallel.py \
     tests/core/test_parallel_equivalence.py -m ''

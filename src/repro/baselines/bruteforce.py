@@ -193,6 +193,80 @@ def estimate_search_seconds(
     return 10.0 ** log10_total
 
 
+@dataclass(frozen=True)
+class BruteForceFusionResult:
+    """The optimum over partitions x per-group option combinations."""
+
+    fused: "FusedStrategy"
+    iteration_time: float
+    evaluations: int
+    partitions: int
+    seconds: float
+
+
+def brute_force_fusion_search(
+    job: "JobConfig",
+    candidates: Sequence[CompressionOption],
+    max_evaluations: int = 2_000_000,
+) -> BruteForceFusionResult:
+    """The exact joint optimum over bucket boundaries *and* options.
+
+    Enumerates all ``2^(n-1)`` contiguous partitions of the tensor
+    trace (each interior boundary is one bit) and runs
+    :func:`brute_force_search` on each partition's fused job, so the
+    search space is ``sum over partitions of |C|^groups``.  Feasible
+    only for toy models; the fusion equivalence tests use it to verify
+    :class:`~repro.core.fusion.FusionPlanner` heuristics against ground
+    truth.  The winner is the minimum under the same deterministic
+    total order the planner uses: ``(iteration_time, num_groups,
+    boundaries)``.
+    """
+    from repro.core.fusion import fused_job
+    from repro.core.strategy import FusedStrategy, FusionPlan
+
+    options = list(candidates)
+    if not any(not option.compresses for option in options):
+        options.append(no_compression_option())
+    n = job.model.num_tensors
+    total = sum(
+        len(options) ** (1 + bin(mask).count("1"))
+        for mask in range(2 ** (n - 1))
+    )
+    if total > max_evaluations:
+        raise ValueError(
+            f"fusion brute force needs {total} evaluations "
+            f"(> max_evaluations={max_evaluations})"
+        )
+    start = time.perf_counter()
+    best: Optional[Tuple[float, int, Tuple[int, ...], FusedStrategy]] = None
+    evaluations = partitions = 0
+    for mask in range(2 ** (n - 1)):
+        boundaries = (0,) + tuple(
+            index for index in range(1, n) if mask >> (index - 1) & 1
+        )
+        plan = FusionPlan(num_tensors=n, boundaries=boundaries)
+        evaluator = StrategyEvaluator(fused_job(job, plan))
+        result = brute_force_search(evaluator, options, max_evaluations)
+        partitions += 1
+        evaluations += result.evaluations
+        key = (result.iteration_time, plan.num_groups, plan.boundaries)
+        if best is None or key < (best[0], best[1], best[2]):
+            best = (
+                result.iteration_time,
+                plan.num_groups,
+                plan.boundaries,
+                FusedStrategy(plan=plan, options=result.strategy.options),
+            )
+    seconds = time.perf_counter() - start
+    return BruteForceFusionResult(
+        fused=best[3],
+        iteration_time=best[0],
+        evaluations=evaluations,
+        partitions=partitions,
+        seconds=seconds,
+    )
+
+
 def brute_force_offload_search(
     evaluator: StrategyEvaluator,
     strategy: CompressionStrategy,

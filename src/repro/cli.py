@@ -42,6 +42,14 @@ from repro.core.conformance import (
     conformance_strategies,
     validate_strategy,
 )
+from repro.core.fusion import (
+    FusionPlanner,
+    PlanArtifact,
+    StalePlanError,
+    fused_job,
+    load_plan,
+    save_plan,
+)
 from repro.core.options import Device
 from repro.core.parallel import (
     WorkerPool,
@@ -147,8 +155,10 @@ def _print_stats(result) -> None:
     print("Fast evaluation layer:")
     rows = [
         ("F(S) calls", f"{stats.fs_calls:,}"),
+        ("answered without simulation", f"{stats.cache_hit_rate:.1%} "
+                                        f"(memo + dedup + pruned)"),
         ("memo cache hits", f"{stats.cache_hits:,} "
-                            f"({stats.cache_hit_rate:.1%})"),
+                            f"({stats.memo_hit_rate:.1%})"),
         ("full simulations", f"{stats.full_sims:,}"),
         ("incremental simulations", f"{stats.incremental_sims:,}"),
         ("base rebuilds", f"{stats.rebases:,}"),
@@ -240,10 +250,85 @@ def cmd_plan_robust(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fusion_stats(result) -> None:
+    rows = [
+        (
+            candidate.name,
+            f"{candidate.plan.num_groups}",
+            f"{candidate.iteration_time * 1e3:.3f} ms",
+            "<-- selected" if candidate.plan is result.plan else "",
+        )
+        for candidate in result.candidates
+    ]
+    print(render_table(
+        ["plan", "groups", "iteration", ""], rows,
+        title="Fusion candidate plans (each fully planned by Espresso):",
+    ))
+    print(
+        f"boundary refinement: {result.sweep_trials} trial move(s), "
+        f"{result.sweep_accepts} accepted"
+    )
+    print()
+
+
+def cmd_plan_fusion(args: argparse.Namespace, job: JobConfig) -> int:
+    plan = None
+    if args.load:
+        artifact = load_plan(args.load)
+        artifact.check_against(job.model)  # StalePlanError -> exit 2
+        plan = artifact.plan()
+    planner = FusionPlanner(
+        job, jobs=args.jobs, check=args.check, plan=plan
+    )
+    try:
+        result = planner.select_strategy()
+    except ConformanceError as error:
+        print(f"CONFORMANCE FAILURE during planning:\n{error}")
+        return 1
+    print(result.summary())
+    print(result.result.summary())
+    print()
+    fjob = fused_job(job, result.plan)
+    if args.check:
+        # Every timeline the candidate planners materialized was checked
+        # in-line; finish by auditing the selected *fused* strategy end
+        # to end (invariants + oracle + incremental exactness) on the
+        # fused job — the battery runs unchanged, a fused group simply
+        # is a tensor to it.
+        report = validate_strategy(
+            StrategyEvaluator(fjob), result.strategy, name="selected"
+        )
+        if not report.ok:
+            print("conformance: FAILED on the selected fused strategy")
+            for violation in report.violations:
+                print(f"  {violation}")
+            if not report.oracle_exact:
+                print("  [oracle] engine timeline != reference simulation")
+            if not report.incremental_exact:
+                print("  [incremental] delta-simulator != engine timeline")
+            return 1
+        print("conformance: selected fused timeline checked, 0 violations")
+        print()
+    if args.stats:
+        _print_fusion_stats(result)
+        _print_stats(result.result)
+        print()
+    if args.save:
+        save_plan(args.save, PlanArtifact.from_result(job, result))
+        print(f"fusion plan saved to {args.save}")
+        print()
+    _print_strategy_table(fjob, result.strategy)
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     if args.robust:
         return cmd_plan_robust(args)
     job = _build_job(args)
+    if args.save and not (args.fusion or args.load):
+        raise CLIConfigError("--save requires --fusion")
+    if args.fusion or args.load:
+        return cmd_plan_fusion(args, job)
     planner = Espresso(job, check=args.check, jobs=args.jobs)
     try:
         result = planner.select_strategy()
@@ -651,6 +736,18 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--check", action="store_true",
                       help="run the simulator conformance invariant checker "
                            "on every timeline the planner materializes")
+    plan.add_argument("--fusion", action="store_true",
+                      help="search fusion-group (bucket) boundaries jointly "
+                           "with per-bucket compression options; the "
+                           "no-fusion plan is always in the portfolio")
+    plan.add_argument("--save", default=None, metavar="PATH",
+                      help="write the selected fusion plan artifact to PATH "
+                           "(with --fusion)")
+    plan.add_argument("--load", default=None, metavar="PATH",
+                      help="pin the fusion-group boundaries from a saved "
+                           "plan artifact (implies --fusion; a plan whose "
+                           "boundaries no longer match the model trace is "
+                           "refused with exit 2)")
     plan.add_argument("--robust", action="store_true",
                       help="select by a robust objective over the fault "
                            "perturbation ensemble instead of the nominal "
@@ -784,6 +881,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except StalePlanError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except ConformanceError as error:

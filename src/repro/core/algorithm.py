@@ -367,3 +367,141 @@ def refinement_sweep(
                 strategy = strategy.replace(index, option)
                 improved = True
     return strategy, best_time, improved
+
+
+def _merge_plan(plan: "FusionPlan", group: int) -> "FusionPlan":
+    """``plan`` with groups ``group`` and ``group + 1`` merged."""
+    from repro.core.strategy import FusionPlan
+
+    boundaries = (
+        plan.boundaries[: group + 1] + plan.boundaries[group + 2 :]
+    )
+    return FusionPlan(num_tensors=plan.num_tensors, boundaries=boundaries)
+
+
+def _split_plan(plan: "FusionPlan", group: int, at: int) -> "FusionPlan":
+    """``plan`` with group ``group`` split before tensor ``at``."""
+    from repro.core.strategy import FusionPlan
+
+    boundaries = (
+        plan.boundaries[: group + 1] + (at,) + plan.boundaries[group + 1 :]
+    )
+    return FusionPlan(num_tensors=plan.num_tensors, boundaries=boundaries)
+
+
+def _balanced_split_point(model, start: int, stop: int) -> int:
+    """The member boundary splitting ``[start, stop)`` most evenly by
+    payload (ties to the earliest boundary — deterministic)."""
+    total = sum(model.tensors[i].num_elements for i in range(start, stop))
+    best_at, best_gap = start + 1, None
+    prefix = 0
+    for at in range(start + 1, stop):
+        prefix += model.tensors[at - 1].num_elements
+        gap = abs(2 * prefix - total)
+        if best_gap is None or gap < best_gap:
+            best_at, best_gap = at, gap
+    return best_at
+
+
+def fusion_boundary_sweep(
+    job: "JobConfig",
+    plan: "FusionPlan",
+    options: Sequence[CompressionOption],
+    sweeps: int = 2,
+) -> Tuple["FusionPlan", Tuple[CompressionOption, ...], float, int, int]:
+    """Joint local refinement of fusion-group boundaries and options.
+
+    The fusion-aware analogue of :func:`refinement_sweep`: where that
+    pass re-decides per-tensor *options* under fixed chains, this one
+    moves the *bucket boundaries* the options ride on.  Each sweep
+    prices every adjacent-pair merge (the merged bucket re-decided via
+    GetBestOption's pricing over both parents' options and
+    no-compression) and every payload-balanced split (both halves
+    inheriting the parent's option), then accepts the steepest
+    improving move under the deterministic total order
+    ``(iteration_time, num_groups, boundaries)`` — the same
+    :data:`IMPROVEMENT_EPSILON` acceptance as every other phase, so the
+    search stays enumeration-order independent and bit-identical across
+    ``--jobs`` widths (trials are priced by in-process evaluators).
+
+    ``options`` assigns one option per group of ``plan``.  Returns
+    ``(plan, options, iteration_time, trials, accepts)``.
+    """
+    from repro.core.fusion import fused_job
+    from repro.core.options import no_compression_option
+    from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+
+    keep_plain = no_compression_option()
+
+    def evaluate(
+        trial_plan: "FusionPlan", trial_options: Tuple[CompressionOption, ...]
+    ) -> Tuple[float, StrategyEvaluator, CompressionStrategy]:
+        evaluator = StrategyEvaluator(fused_job(job, trial_plan))
+        strategy = CompressionStrategy(options=trial_options)
+        return evaluator.iteration_time(strategy), evaluator, strategy
+
+    options = tuple(options)
+    best_time, _, _ = evaluate(plan, options)
+    trials = accepts = 0
+    for _ in range(max(0, sweeps)):
+        moves: List[Tuple[float, int, Tuple[int, ...], "FusionPlan", tuple]] = []
+
+        for g in range(plan.num_groups - 1):
+            trial_plan = _merge_plan(plan, g)
+            merged = options[: g + 1] + options[g + 2 :]
+            _, evaluator, base = evaluate(trial_plan, merged)
+            # Re-decide the merged bucket among both parents' options
+            # and no-compression (value-deduplicated, fixed order).
+            seen = set()
+            merged_candidates = []
+            for option in (options[g], options[g + 1], keep_plain):
+                key = canonical_key(option)
+                if key not in seen:
+                    seen.add(key)
+                    merged_candidates.append(option)
+            priced = price_candidates(
+                evaluator, base, g, merged_candidates, pool=None
+            )
+            trials += 1
+            if not priced:
+                continue
+            trial_time, _, option = best_priced(priced)
+            moves.append(
+                (
+                    trial_time,
+                    trial_plan.num_groups,
+                    trial_plan.boundaries,
+                    trial_plan,
+                    merged[:g] + (option,) + merged[g + 1 :],
+                )
+            )
+
+        for g, (start, stop) in enumerate(plan.groups()):
+            if stop - start < 2:
+                continue
+            at = _balanced_split_point(job.model, start, stop)
+            trial_plan = _split_plan(plan, g, at)
+            split = options[: g + 1] + (options[g],) + options[g + 1 :]
+            trial_time, _, _ = evaluate(trial_plan, split)
+            trials += 1
+            moves.append(
+                (
+                    trial_time,
+                    trial_plan.num_groups,
+                    trial_plan.boundaries,
+                    trial_plan,
+                    split,
+                )
+            )
+
+        if not moves:
+            break
+        moves.sort(key=lambda move: (move[0], move[1], move[2]))
+        trial_time, _, _, trial_plan, trial_options = moves[0]
+        if trial_time < best_time - IMPROVEMENT_EPSILON:
+            best_time = trial_time
+            plan, options = trial_plan, tuple(trial_options)
+            accepts += 1
+        else:
+            break
+    return plan, options, best_time, trials, accepts

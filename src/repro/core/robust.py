@@ -503,6 +503,32 @@ class DegradationTable:
     #: Worst observed single-plan time; the budget gate for full replans.
     max_plan_seconds: float = 0.0
     _planner_factory: Optional[Callable[[JobConfig], object]] = None
+    #: Fusion-group boundaries every entry was planned under; ``None``
+    #: for per-tensor tables.  :meth:`replan` refuses to score entries
+    #: against a model trace the boundaries no longer partition.
+    fusion_plan: Optional["FusionPlan"] = None
+
+    def _fused(self, job: JobConfig) -> JobConfig:
+        """``job`` under this table's fusion plan, stale-checked.
+
+        Every cached strategy is indexed by the fused model's tensors;
+        scoring it against a job the plan no longer partitions would
+        silently misprice every bucket, so a mismatch is a refusal
+        (:class:`~repro.core.fusion.StalePlanError`, exit 2 in the CLI)
+        rather than a fallback.
+        """
+        if self.fusion_plan is None:
+            return job
+        from repro.core.fusion import StalePlanError, fused_job
+
+        if self.fusion_plan.num_tensors != job.model.num_tensors:
+            raise StalePlanError(
+                f"stale plan: degradation table boundaries partition "
+                f"{self.fusion_plan.num_tensors} tensors but model "
+                f"{job.model.name!r} traces {job.model.num_tensors}; "
+                f"rebuild the table"
+            )
+        return fused_job(job, self.fusion_plan)
 
     @classmethod
     def build(
@@ -510,6 +536,7 @@ class DegradationTable:
         job: JobConfig,
         ensemble: Optional[Sequence[FaultModel]] = None,
         planner_factory: Optional[Callable[[JobConfig], object]] = None,
+        fusion_plan: Optional["FusionPlan"] = None,
     ) -> "DegradationTable":
         from repro.core.espresso import Espresso  # circular-import guard
 
@@ -517,9 +544,11 @@ class DegradationTable:
             ensemble = default_ensemble()
         if planner_factory is None:
             planner_factory = Espresso
-        table = cls(job=job, _planner_factory=planner_factory)
+        table = cls(
+            job=job, _planner_factory=planner_factory, fusion_plan=fusion_plan
+        )
         for fault_model in ensemble:
-            perturbed = fault_model.apply_to_job(job)
+            perturbed = table._fused(fault_model.apply_to_job(job))
             start = time.perf_counter()
             result = planner_factory(perturbed).select_strategy()
             seconds = time.perf_counter() - start
@@ -558,7 +587,17 @@ class DegradationTable:
         time permits.
         """
         check_start = time.perf_counter()
-        perturbed = fault_model.apply_to_job(self.job)
+        perturbed = self._fused(fault_model.apply_to_job(self.job))
+        num_tensors = perturbed.model.num_tensors
+        for entry in self.entries.values():
+            if len(entry.strategy) != num_tensors:
+                from repro.core.fusion import StalePlanError
+
+                raise StalePlanError(
+                    f"stale plan: cached entry {entry.fault_name!r} decides "
+                    f"{len(entry.strategy)} tensors but the degraded job "
+                    f"traces {num_tensors}; rebuild the table"
+                )
         evaluator = StrategyEvaluator(perturbed)
 
         candidates: List[Tuple[str, CompressionStrategy]] = [
@@ -567,9 +606,7 @@ class DegradationTable:
         ]
         candidates.extend(
             (f"portfolio:{name}", strategy)
-            for name, strategy in _portfolio_candidates(
-                self.job.model.num_tensors
-            )
+            for name, strategy in _portfolio_candidates(num_tensors)
         )
         seen = set()
         best_name, best_strategy, best_time = "", None, math.inf

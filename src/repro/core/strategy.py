@@ -125,13 +125,151 @@ def baseline_strategy(num_tensors: int, flat: bool = False) -> CompressionStrate
     return CompressionStrategy(options=(option,) * num_tensors)
 
 
+@dataclass(frozen=True)
+class FusionPlan:
+    """A partition of a model's tensors into fused gradient buckets.
+
+    Fusion-group boundaries are a first-class strategy-space decision
+    (the MG-WFBP dimension Espresso's per-tensor search lacks): tensors
+    of one group are communicated as a single aggregated payload, paying
+    the per-message launch overhead once instead of once per member.
+    Groups are contiguous runs in backprop completion order — the bucket
+    becomes ready when its *last* member's gradient is computed, so
+    non-contiguous groups would only ever delay communication.
+
+    Attributes:
+        num_tensors: tensor count of the model trace the plan partitions.
+        boundaries: group start indices; ``boundaries[g]`` is the first
+            tensor of group ``g``.  Always starts at 0 and is strictly
+            increasing, so group ``g`` spans
+            ``[boundaries[g], boundaries[g + 1])``.
+    """
+
+    num_tensors: int
+    boundaries: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_tensors < 1:
+            raise ValueError("a fusion plan needs at least one tensor")
+        if not self.boundaries or self.boundaries[0] != 0:
+            raise ValueError("fusion-group boundaries must start at 0")
+        for a, b in zip(self.boundaries, self.boundaries[1:]):
+            if b <= a:
+                raise ValueError(
+                    f"fusion-group boundaries must be strictly increasing, "
+                    f"got {self.boundaries}"
+                )
+        if self.boundaries[-1] >= self.num_tensors:
+            raise ValueError(
+                f"boundary {self.boundaries[-1]} out of range for "
+                f"{self.num_tensors} tensors"
+            )
+
+    @classmethod
+    def singleton(cls, num_tensors: int) -> "FusionPlan":
+        """The no-fusion plan: every tensor is its own group."""
+        return cls(num_tensors=num_tensors, boundaries=tuple(range(num_tensors)))
+
+    @classmethod
+    def from_sizes(cls, sizes: Sequence[int]) -> "FusionPlan":
+        """Build a plan from per-group tensor counts."""
+        boundaries = []
+        start = 0
+        for size in sizes:
+            boundaries.append(start)
+            start += size
+        return cls(num_tensors=start, boundaries=tuple(boundaries))
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.boundaries)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True when the plan fuses nothing."""
+        return self.num_groups == self.num_tensors
+
+    def groups(self) -> List[Tuple[int, int]]:
+        """Per-group ``(start, stop)`` tensor index ranges."""
+        stops = (*self.boundaries[1:], self.num_tensors)
+        return list(zip(self.boundaries, stops))
+
+    def group_sizes(self) -> List[int]:
+        return [stop - start for start, stop in self.groups()]
+
+    def group_of(self, tensor_index: int) -> int:
+        """The group containing ``tensor_index``."""
+        if not 0 <= tensor_index < self.num_tensors:
+            raise IndexError(f"tensor index {tensor_index} out of range")
+        from bisect import bisect_right
+
+        return bisect_right(self.boundaries, tensor_index) - 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_groups} fusion group(s) over {self.num_tensors} "
+            f"tensors (sizes {self.group_sizes()})"
+        )
+
+
+@dataclass(frozen=True)
+class FusedStrategy:
+    """A fusion plan plus one compression option per fused group.
+
+    The joint decision the fusion-aware planner outputs: bucket
+    boundaries *and* per-bucket compression choices.  ``options`` is
+    indexed like the fused model's tensors (group ``g`` of ``plan``),
+    not like the original model's.
+    """
+
+    plan: FusionPlan
+    options: Tuple[CompressionOption, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) != self.plan.num_groups:
+            raise ValueError(
+                f"fused strategy assigns {len(self.options)} options to "
+                f"{self.plan.num_groups} fusion groups"
+            )
+
+    def as_strategy(self) -> CompressionStrategy:
+        """The per-group strategy, indexed like the fused model."""
+        return CompressionStrategy(options=self.options)
+
+    def per_tensor_options(self) -> Tuple[CompressionOption, ...]:
+        """The decision expanded to the original model's tensors (every
+        member of a group shares the group's option)."""
+        expanded: List[CompressionOption] = []
+        for option, size in zip(self.options, self.plan.group_sizes()):
+            expanded.extend([option] * size)
+        return tuple(expanded)
+
+    def fingerprint(self) -> Tuple:
+        """Canonical identity: boundaries + per-group option keys."""
+        return (
+            self.plan.num_tensors,
+            self.plan.boundaries,
+            tuple(canonical_key(option) for option in self.options),
+        )
+
+    def describe(self) -> str:
+        lines = [self.plan.describe()]
+        for g, ((start, stop), option) in enumerate(
+            zip(self.plan.groups(), self.options)
+        ):
+            span = f"T{start}" if stop - start == 1 else f"T{start}..T{stop - 1}"
+            lines.append(f"G{g} [{span}]: {option.describe()}")
+        return "\n".join(lines)
+
+
 @dataclass
 class EvaluatorStats:
     """Fast-evaluation-layer instrumentation (reported by ``plan --stats``).
 
     Attributes:
         fs_calls: F(S) requests, however they were answered.
-        cache_hits: requests answered from the fingerprint memo cache.
+        cache_hits: requests answered from the fingerprint memo cache
+            (including candidates chain-equal to the resident base).
         full_sims: from-scratch simulations (includes rebases).
         incremental_sims: delta-simulations via chain swaps.
         rebases: incremental-simulator base rebuilds.
@@ -186,7 +324,29 @@ class EvaluatorStats:
 
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of F(S) requests answered without any simulation."""
+        """Fraction of F(S) requests answered without any simulation.
+
+        That is the documented semantics this metric always claimed, and
+        since the batch pricing layer it takes three counters to honour
+        it: memo/resident hits (``cache_hits``), candidates answered by
+        a chain-identical sibling in the same call
+        (``batch_dedup_hits``), and candidates a sound lower bound
+        proved irrelevant (``batch_pruned``).  Counting memo hits alone
+        collapses on deep homogeneous models — the memo key is the
+        full-length chain fingerprint, so any accepted decision
+        invalidates every memoized trial, while dedup and pruning (the
+        mechanisms that actually replaced those reuses) still answer
+        20-40% of requests simulation-free.  ``memo_hit_rate`` keeps
+        the narrow metric.
+        """
+        if not self.fs_calls:
+            return 0.0
+        answered = self.cache_hits + self.batch_dedup_hits + self.batch_pruned
+        return answered / self.fs_calls
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of F(S) requests answered from the memo cache alone."""
         return self.cache_hits / self.fs_calls if self.fs_calls else 0.0
 
     @property
