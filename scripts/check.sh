@@ -112,6 +112,15 @@ echo "== planner profile: where selection time goes (perf PRs start here) =="
 run_phase python scripts/profile_planner.py vgg16 --top 10 --sort tottime
 
 echo
+echo "== service: chaos load against repro serve, zero dropped requests =="
+# Spawns the planning server, replays a seeded request mix with
+# injected evaluator kills/stalls and deadline pressure, shuts down via
+# SIGTERM drain, and exits non-zero on any dropped request, wire error,
+# or bit-identity mismatch.  Writes BENCH_service.json.
+run_phase python scripts/service_bench.py --requests 60 --workers 2 \
+    --conns 4 --verify-plans 2 --sigterm
+
+echo
 echo "== chaos replay: crash/SIGKILL/corruption recovery is bit-identical =="
 # Bounded by run_phase's PHASE_TIMEOUT like every other phase; artifacts
 # (checkpoints + report.json) land in CHAOS_ARTIFACTS so CI can upload

@@ -9,6 +9,7 @@ Examples::
     python -m repro faults --model bert-base --gc dgc --ratio 0.01
     python -m repro models
     python -m repro options --mode uniform
+    python -m repro serve --workers 2 --queue-limit 16 --deadline 5
 
 ``plan`` also accepts the paper's three config files instead of names::
 
@@ -51,12 +52,6 @@ from repro.core.fusion import (
     save_plan,
 )
 from repro.core.options import Device
-from repro.core.parallel import (
-    WorkerPool,
-    WorkerPoolError,
-    run_system_task,
-    validate_strategy_task,
-)
 from repro.core.robust import (
     OBJECTIVES,
     DegradationTable,
@@ -65,6 +60,9 @@ from repro.core.robust import (
 )
 from repro.core.strategy import StrategyEvaluator, baseline_strategy
 from repro.core.tree import search_space_size
+from repro.service.core import PlanningCore, run_systems, validate_suite
+from repro.service.resilience import ChaosSchedule, RetryPolicy
+from repro.service.server import ServerConfig, serve
 from repro.sim.faults import ensemble_by_name
 from repro.sim.trace import write_chrome_trace
 from repro.sim.validate import ConformanceError
@@ -329,9 +327,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
         raise CLIConfigError("--save requires --fusion")
     if args.fusion or args.load:
         return cmd_plan_fusion(args, job)
-    planner = Espresso(job, check=args.check, jobs=args.jobs)
+    core = PlanningCore(jobs=args.jobs, check=args.check)
     try:
-        result = planner.select_strategy()
+        planner, result = core.plan_job_detailed(job)
     except ConformanceError as error:
         print(f"CONFORMANCE FAILURE during planning:\n{error}")
         return 1
@@ -401,6 +399,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
             f"under {entry.worst_fault!r} "
             f"({entry.overhead_under(entry.worst_fault):+.1%} vs nominal)"
         )
+    if args.jobs > 1 and report.parallel_disabled_reason:
+        print(f"note: --jobs {args.jobs} ran serially: "
+              f"{report.parallel_disabled_reason}")
     if args.check:
         print()
         print(
@@ -408,25 +409,6 @@ def cmd_faults(args: argparse.Namespace) -> int:
             f"checked, 0 violations"
         )
     return 0
-
-
-def _run_systems(job: JobConfig, systems, jobs: int) -> List:
-    """Each system's BaselineResult, fanned out when ``jobs > 1``.
-
-    Workers only run the (independent, deterministic) per-system
-    planning; order and results match the serial loop exactly.
-    """
-    if jobs > 1 and len(systems) > 1:
-        with WorkerPool(jobs) as pool:
-            if pool.active:
-                try:
-                    return pool.run(
-                        run_system_task,
-                        [(system_cls, job) for system_cls in systems],
-                    )
-                except WorkerPoolError:
-                    pass
-    return [system_cls().run(job) for system_cls in systems]
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -437,7 +419,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         systems.append(UpperBound)
     checker = StrategyEvaluator(job, check=True) if args.check else None
     checked = 0
-    for result in _run_systems(job, systems, args.jobs):
+    results, _ = run_systems(job, systems, args.jobs)
+    for result in results:
         if checker is not None:
             try:
                 checker.timeline(result.strategy)
@@ -460,29 +443,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _validate_suite(job: JobConfig, named, oracle: bool, jobs: int) -> List:
-    """Conformance reports for ``named`` strategies, fanned out when
-    ``jobs > 1`` (one strategy's full battery per worker task)."""
-    if jobs > 1 and len(named) > 1:
-        with WorkerPool(jobs) as pool:
-            if pool.active:
-                try:
-                    return pool.run(
-                        validate_strategy_task,
-                        [
-                            (job, name, strategy.options, oracle)
-                            for name, strategy in named
-                        ],
-                    )
-                except WorkerPoolError:
-                    pass
-    evaluator = StrategyEvaluator(job)
-    return [
-        validate_strategy(evaluator, strategy, name=name, oracle=oracle)
-        for name, strategy in named
-    ]
-
-
 def cmd_validate(args: argparse.Namespace) -> int:
     job = _build_job(args)
     oracle = not args.skip_oracle
@@ -494,7 +454,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     else:
         suite = dict(conformance_strategies(job.model.num_tensors))
         named = [(args.strategy, suite[args.strategy])]
-    reports = _validate_suite(job, named, oracle, args.jobs)
+    reports, disabled_reason = validate_suite(job, named, oracle, args.jobs)
 
     rows = []
     failures = 0
@@ -521,6 +481,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
     for report in reports:
         for violation in report.violations:
             print(f"  {report.name}: {violation}")
+    if args.jobs > 1 and disabled_reason:
+        print(f"note: --jobs {args.jobs} ran serially: {disabled_reason}")
     if args.trace:
         write_chrome_trace(reports[-1].timeline, args.trace)
         print(f"Chrome trace of {reports[-1].name!r} written to {args.trace} "
@@ -720,6 +682,42 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    chaos = None
+    if args.chaos_kill_rate > 0 or args.chaos_slow_rate > 0:
+        try:
+            chaos = ChaosSchedule(
+                seed=args.chaos_seed,
+                kill_rate=args.chaos_kill_rate,
+                slow_rate=args.chaos_slow_rate,
+                slow_seconds=args.chaos_slow_seconds,
+                kill_attempts=args.chaos_kill_attempts,
+            )
+        except ValueError as error:
+            raise CLIConfigError(str(error)) from None
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            default_deadline_s=args.deadline if args.deadline > 0 else None,
+            jobs=args.jobs,
+            check=args.check,
+            cache_entries=args.cache_entries,
+            retry=RetryPolicy(
+                max_retries=args.retries,
+                backoff_base=args.retry_backoff,
+            ),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            chaos=chaos,
+        )
+    except ValueError as error:
+        raise CLIConfigError(str(error)) from None
+    return serve(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -802,6 +800,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="write a chrome://tracing JSON of the last audited timeline")
     validate.set_defaults(func=cmd_validate)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the resilient planning service: deadlines, retries, "
+             "circuit-broken degradation, graceful drain",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = pick a free one; printed at start)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent planning slots")
+    srv.add_argument("--queue-limit", type=int, default=16,
+                     help="bounded admission queue; a full queue fast-fails "
+                          "new requests with a one-line diagnostic")
+    srv.add_argument("--deadline", type=float, default=30.0,
+                     help="default per-request deadline in seconds for "
+                          "requests that carry none (0 = unbounded)")
+    srv.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="planner fan-out width per request (as in "
+                          "'repro plan --jobs')")
+    srv.add_argument("--check", action="store_true",
+                     help="run the conformance invariant checker on every "
+                          "timeline the planner materializes")
+    srv.add_argument("--cache-entries", type=int, default=256,
+                     help="strategy-cache capacity (LRU)")
+    srv.add_argument("--retries", type=int, default=2,
+                     help="retries after an evaluator worker death")
+    srv.add_argument("--retry-backoff", type=float, default=0.05,
+                     help="base of the exponential retry backoff (seconds)")
+    srv.add_argument("--breaker-threshold", type=int, default=3,
+                     help="consecutive failures/deadline misses that open "
+                          "the circuit breaker")
+    srv.add_argument("--breaker-cooldown", type=float, default=2.0,
+                     help="seconds the breaker stays open before a "
+                          "half-open probe")
+    srv.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed for deterministic fault injection")
+    srv.add_argument("--chaos-kill-rate", type=float, default=0.0,
+                     help="per-attempt probability of an injected "
+                          "evaluator kill")
+    srv.add_argument("--chaos-slow-rate", type=float, default=0.0,
+                     help="per-attempt probability of an injected slow "
+                          "evaluation")
+    srv.add_argument("--chaos-slow-seconds", type=float, default=0.25,
+                     help="duration of an injected slow evaluation")
+    srv.add_argument("--chaos-kill-attempts", type=int, default=1,
+                     help="attempts (per request) the kill injection may "
+                          "hit; 1 means a retry always heals a kill")
+    srv.set_defaults(func=cmd_serve)
 
     models = sub.add_parser("models", help="list the benchmark models")
     models.set_defaults(func=cmd_models)

@@ -21,6 +21,43 @@ from repro.models.base import ModelProfile, TensorProfile
 from repro.profiling.device import DeviceProfile, v100_gpu, xeon_cpu
 
 
+def _check_known_keys(data: dict, allowed: frozenset, what: str) -> None:
+    """Reject config entries with keys this schema does not define.
+
+    A typo'd optional key (``"inter_latencey"``) would otherwise be
+    silently dropped and the default used — the worst failure mode for
+    a planning input, because the plan looks plausible and is priced
+    against the wrong cluster.  The one-line message matches the CLI's
+    exit-2 diagnostic style.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{what} has unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+_MODEL_KEYS = frozenset(
+    ("name", "forward_time", "batch_size", "sample_unit", "dataset", "tensors")
+)
+_TENSOR_KEYS = frozenset(("name", "num_elements", "compute_time"))
+_CLUSTER_KEYS = frozenset(
+    (
+        "num_machines",
+        "gpus_per_machine",
+        "intra_bw",
+        "inter_bw",
+        "intra_latency",
+        "inter_latency",
+        "interconnect",
+    )
+)
+_GC_KEYS = frozenset(("algorithm", "params"))
+
+
 @dataclass(frozen=True)
 class GCInfo:
     """The GC configuration: algorithm name + constructor parameters."""
@@ -74,7 +111,10 @@ def model_to_dict(model: ModelProfile) -> dict:
 
 
 def model_from_dict(data: dict) -> ModelProfile:
-    """Deserialize :func:`model_to_dict` output."""
+    """Deserialize :func:`model_to_dict` output (unknown keys rejected)."""
+    _check_known_keys(data, _MODEL_KEYS, "model config")
+    for index, tensor in enumerate(data.get("tensors", ())):
+        _check_known_keys(tensor, _TENSOR_KEYS, f"model config tensor #{index}")
     return ModelProfile(
         name=data["name"],
         tensors=tuple(
@@ -115,6 +155,7 @@ def cluster_to_dict(cluster: ClusterSpec) -> dict:
 
 
 def cluster_from_dict(data: dict) -> ClusterSpec:
+    _check_known_keys(data, _CLUSTER_KEYS, "system config")
     return ClusterSpec(
         num_machines=int(data["num_machines"]),
         gpus_per_machine=int(data["gpus_per_machine"]),
@@ -141,6 +182,7 @@ def gc_to_dict(gc: GCInfo) -> dict:
 
 
 def gc_from_dict(data: dict) -> GCInfo:
+    _check_known_keys(data, _GC_KEYS, "GC config")
     return GCInfo(algorithm=data["algorithm"], params=dict(data.get("params", {})))
 
 

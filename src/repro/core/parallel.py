@@ -42,10 +42,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompressionOption, canonical_key
 from repro.core.strategy import CompressionStrategy, StrategyEvaluator
+from repro.utils.backoff import backoff_delay
 
 #: Below this many candidates a fan-out's IPC overhead outweighs the
 #: win; the pricing helper stays in-process.
 MIN_FANOUT_CANDIDATES = 4
+
+#: Seconds slept before the pool's single restart attempt after a
+#: batch failure (a transient worker death — OOM kill, SIGKILL from a
+#: supervisor — often clears immediately; the backoff just keeps a
+#: crash-looping host from thrashing executor setup).
+POOL_RESTART_BACKOFF = 0.05
 
 #: A priced candidate: (trial iteration time, canonical option key,
 #: the option object).  Lists of these are what the merge orders.
@@ -85,9 +92,15 @@ class WorkerPool:
     clamp — the equivalence tests use it to exercise the real
     multi-process merge path regardless of the host.
 
-    Any failure to pickle tasks or to keep workers alive permanently
-    disables the pool — the batch that tripped it is re-run serially by
-    the caller, so results never depend on whether the pool worked.
+    A failed batch (pickling error, dead worker, exception inside the
+    task) gets one second chance: the executor is torn down, the pool
+    backs off briefly and rebuilds it, and the same batch is re-run on
+    the fresh workers.  Only a failure of that retry latches the pool
+    serial for good — the batch that tripped it is then re-run serially
+    by the caller, so results never depend on whether the pool worked.
+    Before this restart path, a single transient worker death (an OOM
+    kill of one replica) cost the whole process its parallelism for the
+    rest of its lifetime.
     """
 
     def __init__(
@@ -108,6 +121,11 @@ class WorkerPool:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self.disabled_reason: Optional[str] = None
+        #: Pool rebuilds performed after a batch failure (at most
+        #: :attr:`max_restarts` over the pool's lifetime).
+        self.restarts = 0
+        self.max_restarts = 1
+        self.restart_backoff = POOL_RESTART_BACKOFF
         if self.jobs < self.requested_jobs and self.jobs <= 1:
             self.disabled_reason = (
                 f"requested {self.requested_jobs} jobs but only "
@@ -142,9 +160,15 @@ class WorkerPool:
     def run(self, fn: Callable, tasks: Sequence) -> List:
         """``[fn(t) for t in tasks]`` computed in workers, order kept.
 
-        Raises :class:`WorkerPoolError` (after disabling the pool) on
-        any failure — pickling, a dead worker, or an exception inside
-        ``fn`` — so the caller can re-run the batch serially.
+        A first failure — pickling, a dead worker, or an exception
+        inside ``fn`` — triggers one pool restart (tear down the
+        executor, back off :attr:`restart_backoff` seconds, rebuild)
+        and re-runs the batch on the fresh workers.  Only when the
+        retry also fails is the pool disabled and
+        :class:`WorkerPoolError` raised, so the caller can re-run the
+        batch serially.  Both paths are sound because tasks are pure:
+        re-running a batch (in workers or serially) computes the same
+        values.
         """
         tasks = list(tasks)
         if not self.active:
@@ -153,12 +177,36 @@ class WorkerPool:
             )
         try:
             return list(self._ensure_executor().map(fn, tasks))
-        except Exception as error:  # noqa: BLE001 - any failure => serial
-            self.disable(f"{type(error).__name__}: {error}")
+        except Exception as error:  # noqa: BLE001 - any failure => retry
+            reason = f"{type(error).__name__}: {error}"
+            if self.restarts >= self.max_restarts:
+                self.disable(reason)
+                raise WorkerPoolError(
+                    f"worker pool failed ({self.disabled_reason}); "
+                    "falling back to serial execution"
+                ) from error
+            self._restart(reason)
+        try:
+            return list(self._ensure_executor().map(fn, tasks))
+        except Exception as error:  # noqa: BLE001 - retry failed => serial
+            self.disable(
+                f"{type(error).__name__}: {error} "
+                f"(after {self.restarts} pool restart(s))"
+            )
             raise WorkerPoolError(
                 f"worker pool failed ({self.disabled_reason}); "
                 "falling back to serial execution"
             ) from error
+
+    def _restart(self, reason: str) -> None:
+        """Tear the executor down and rebuild it after a short backoff."""
+        self.restarts += 1
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - a broken executor may refuse
+            self._executor = None
+        if self.restart_backoff > 0:
+            time.sleep(backoff_delay(self.restarts, self.restart_backoff))
 
     def close(self) -> None:
         if self._executor is not None:

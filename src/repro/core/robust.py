@@ -127,6 +127,10 @@ class SensitivityReport:
     fault_names: Tuple[str, ...]
     strategies: Tuple[StrategySensitivity, ...]
     timelines_checked: int = 0
+    #: Why a ``jobs > 1`` sweep ran serially (core clamp, broken pool),
+    #: or None when it fanned out / parallelism was never requested.
+    #: ``repro faults`` prints it so a silently-serial sweep is visible.
+    parallel_disabled_reason: Optional[str] = None
 
     def strategy(self, name: str) -> StrategySensitivity:
         for entry in self.strategies:
@@ -142,17 +146,17 @@ def _sweep_members_parallel(
     check: bool,
     jobs: int,
     oversubscribe: bool,
-) -> Optional[List]:
+) -> Tuple[Optional[List], Optional[str]]:
     """Fan the per-member pricing out to a worker pool.
 
-    Returns the ordered per-member results of
-    :func:`~repro.core.parallel.sweep_member_task`, or ``None`` when the
-    pool is unavailable (serial fallback).  Each member's prices are
-    computed by exactly one process with its own evaluator, so the
-    values are identical to the serial loop's.
+    Returns ``(results, disabled_reason)``: the ordered per-member
+    results of :func:`~repro.core.parallel.sweep_member_task`, or
+    ``None`` with the pool's reason when it ran (or fell back) serially.
+    Each member's prices are computed by exactly one process with its
+    own evaluator, so the values are identical to the serial loop's.
     """
     if jobs <= 1 or len(ensemble) <= 1:
-        return None
+        return None, None
     named_options = [
         (name, strategy.options) for name, strategy in strategies
     ]
@@ -166,11 +170,11 @@ def _sweep_members_parallel(
     ]
     with WorkerPool(jobs, oversubscribe=oversubscribe) as pool:
         if not pool.active:
-            return None
+            return None, pool.disabled_reason
         try:
-            return pool.run(sweep_member_task, tasks)
+            return pool.run(sweep_member_task, tasks), pool.disabled_reason
         except WorkerPoolError:
-            return None
+            return None, pool.disabled_reason
 
 
 def sensitivity_sweep(
@@ -203,7 +207,7 @@ def sensitivity_sweep(
     nominal: Dict[str, float] = {}
     nominal_evaluator = StrategyEvaluator(job, check=check)
     checked = 0
-    member_results = _sweep_members_parallel(
+    member_results, disabled_reason = _sweep_members_parallel(
         job, strategies, ensemble, check, jobs, oversubscribe
     )
     if member_results is not None:
@@ -240,6 +244,7 @@ def sensitivity_sweep(
             for name, _ in strategies
         ),
         timelines_checked=checked,
+        parallel_disabled_reason=disabled_reason,
     )
 
 

@@ -18,7 +18,7 @@ bit-identical to the full simulation, only cheaper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import JobConfig
 from repro.sim import batch as _batch
@@ -410,6 +410,16 @@ class StrategyEvaluator:
         self.check = check
         self.timelines_checked = 0
         self.evaluations = 0  # F(S) computations, reported in Table 5
+        #: Cooperative-cancellation seam: when set, called at the top of
+        #: every F(S) entry point (``iteration_time``,
+        #: ``iteration_time_delta``, ``price_options``).  The planning
+        #: service installs a deadline check here so an in-flight
+        #: selection unwinds within one evaluation of its deadline
+        #: instead of running to completion; the callable signals
+        #: cancellation by raising (the exception propagates out of the
+        #: planner untouched).  ``None`` (the default) costs one
+        #: attribute test per call.
+        self.cancel_check: Optional[Callable[[], None]] = None
         self.stats = EvaluatorStats()
         #: Memoized makespans keyed by *chain* fingerprint — the tuple
         #: of per-tensor stage-chain keys (see :meth:`_chain_key`).
@@ -633,6 +643,8 @@ class StrategyEvaluator:
         everything.  Callers that need every exact time must pass
         ``bound=None``.
         """
+        if self.cancel_check is not None:
+            self.cancel_check()
         options = list(options)
         count = len(options)
         self.evaluations += count
@@ -819,6 +831,8 @@ class StrategyEvaluator:
         the fast layer enabled the result is memoized by fingerprint and,
         when a resident base exists, computed by delta-simulation.
         """
+        if self.cancel_check is not None:
+            self.cancel_check()
         self.evaluations += 1
         self.stats.fs_calls += 1
         if not self.fast:
@@ -847,6 +861,8 @@ class StrategyEvaluator:
         prefix of ``base`` (which becomes the resident incremental base).
         This is the hot path of GetBestOption and the refinement sweeps.
         """
+        if self.cancel_check is not None:
+            self.cancel_check()
         self.evaluations += 1
         self.stats.fs_calls += 1
         if not self.fast:
@@ -874,6 +890,8 @@ class StrategyEvaluator:
         earliest replaced tensor, but the flatten work and the memo
         cache are still shared.
         """
+        if self.cancel_check is not None:
+            self.cancel_check()
         self.evaluations += 1
         self.stats.fs_calls += 1
         if not self.fast:

@@ -1,5 +1,6 @@
-"""Shared utilities: units, validation helpers, and table rendering."""
+"""Shared utilities: units, validation, backoff, and table rendering."""
 
+from repro.utils.backoff import backoff_delay, total_backoff
 from repro.utils.units import (
     GB,
     GBPS,
@@ -28,4 +29,6 @@ __all__ = [
     "check_positive",
     "check_non_negative",
     "check_finite",
+    "backoff_delay",
+    "total_backoff",
 ]

@@ -9,6 +9,8 @@ merge contract is what these tests pin down.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.baselines.bruteforce import brute_force_search
@@ -39,6 +41,25 @@ from repro.utils.units import MB, MS
 
 def _boom(task):
     raise ValueError(f"worker failure for {task!r}")
+
+
+def _boom_once(task):
+    """Fail the batch's first execution, succeed on the re-run.
+
+    An O_EXCL marker file stands in for transient worker death: exactly
+    one task of the first generation claims it and dies, failing that
+    batch; the restarted pool finds the marker and completes.  (Per-item
+    markers would be racy — items the failed ``map`` never reached
+    would then die on the re-run too.)  Module-level so spawn hosts can
+    pickle it.
+    """
+    directory, value = task
+    marker = os.path.join(directory, "failed-once")
+    try:
+        os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return value * 10
+    raise ValueError(f"transient failure for {value!r}")
 
 
 @pytest.fixture
@@ -91,6 +112,34 @@ def test_pool_failure_disables_permanently():
             pool.run(_boom, [1, 2])
         assert not pool.active
         assert "ValueError" in pool.disabled_reason
+        assert "after 1 pool restart" in pool.disabled_reason
+
+
+def test_pool_restarts_once_and_heals_transient_failure(tmp_path):
+    """Satellite regression: a single transient batch failure used to
+    latch the pool serial for the process lifetime.  Now the pool tears
+    down, backs off, rebuilds, and re-runs the batch — callers never
+    see the hiccup."""
+    with WorkerPool(2, oversubscribe=True) as pool:
+        pool.restart_backoff = 0.001  # keep the test fast
+        tasks = [(str(tmp_path), i) for i in range(3)]
+        assert pool.run(_boom_once, tasks) == [0, 10, 20]
+        assert pool.restarts == 1
+        assert pool.active
+        assert pool.disabled_reason is None
+        # The healed pool keeps serving later batches.
+        assert pool.run(abs, [-7]) == [7]
+
+
+def test_pool_restart_budget_is_one():
+    """A second failing batch after a consumed restart goes straight to
+    serial — no unbounded rebuild loops."""
+    with WorkerPool(2, oversubscribe=True) as pool:
+        pool.restart_backoff = 0.001
+        with pytest.raises(WorkerPoolError):
+            pool.run(_boom, [1])
+        assert pool.restarts == 1
+        assert not pool.active
 
 
 def test_evaluator_pool_degrades_on_unpicklable_job(monkeypatch):

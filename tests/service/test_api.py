@@ -1,0 +1,124 @@
+"""Wire vocabulary: fingerprints, digests, request/response codecs."""
+
+import json
+
+import pytest
+
+from repro.service.api import (
+    PlanRequest,
+    PlanResponse,
+    RequestError,
+    decode_message,
+    encode_message,
+    family_key,
+    job_fingerprint,
+    strategy_digest,
+)
+from repro.core.presets import inter_allgather_option
+from repro.core.options import Device
+from repro.core.strategy import baseline_strategy
+
+
+def test_fingerprint_ignores_spelling():
+    # Explicit defaults and omitted defaults describe the same job.
+    a = PlanRequest(model="lstm", machines=2, gpus=4)
+    b = PlanRequest(
+        model="lstm", gc="dgc", testbed="nvlink", machines=2, gpus=4,
+        request_id="different-id", deadline_s=1.0,
+    )
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_distinguishes_every_input_axis():
+    base = PlanRequest(model="lstm", machines=2, gpus=4)
+    for variant in (
+        PlanRequest(model="vgg16", machines=2, gpus=4),
+        PlanRequest(model="lstm", machines=4, gpus=4),
+        PlanRequest(model="lstm", machines=2, gpus=2),
+        PlanRequest(model="lstm", machines=2, gpus=4, gc="randomk"),
+        PlanRequest(model="lstm", machines=2, gpus=4, ratio=0.05),
+        PlanRequest(model="lstm", machines=2, gpus=4, testbed="pcie"),
+    ):
+        assert variant.fingerprint() != base.fingerprint()
+
+
+def test_family_key_ignores_cluster():
+    a = PlanRequest(model="lstm", ratio=0.01, machines=2, gpus=4)
+    b = PlanRequest(model="lstm", ratio=0.01, machines=8, gpus=8,
+                    testbed="pcie")
+    assert a.family() == b.family()
+    assert a.fingerprint() != b.fingerprint()
+    assert PlanRequest(model="lstm", ratio=0.05).family() != a.family()
+
+
+def test_inline_model_config_matches_zoo_name():
+    from repro.config import model_to_dict
+    from repro.models import get_model
+
+    named = PlanRequest(model="lstm", machines=2, gpus=2)
+    inline = PlanRequest(
+        model_config=model_to_dict(get_model("lstm")), machines=2, gpus=2
+    )
+    assert named.fingerprint() == inline.fingerprint()
+
+
+def test_build_job_rejects_bad_fields():
+    with pytest.raises(RequestError, match="unknown model"):
+        PlanRequest(model="nosuch").build_job()
+    with pytest.raises(RequestError, match="unknown testbed"):
+        PlanRequest(testbed="infiniband").build_job()
+    with pytest.raises(RequestError, match="machines/gpus"):
+        PlanRequest(machines=0).build_job()
+    with pytest.raises(RequestError, match="unknown key"):
+        PlanRequest(
+            model_config={"name": "m", "tensorz": []}
+        ).build_job()
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(RequestError, match="unknown key"):
+        PlanRequest.from_dict({"model": "lstm", "deadline": 1.0})
+    # "op" is wire framing, not a request field.
+    request = PlanRequest.from_dict({"op": "plan", "model": "lstm"})
+    assert request.model == "lstm"
+
+
+def test_request_round_trip():
+    request = PlanRequest(model="vgg16", ratio=0.05, machines=2, gpus=2,
+                          deadline_s=2.5, request_id="r9")
+    again = PlanRequest.from_dict(request.to_dict())
+    assert again == request
+
+
+def test_strategy_digest_is_value_equality():
+    fp32 = baseline_strategy(4)
+    assert strategy_digest(fp32) == strategy_digest(baseline_strategy(4))
+    compressed = fp32.replace(2, inter_allgather_option(Device.GPU))
+    assert strategy_digest(compressed) != strategy_digest(fp32)
+
+
+def test_job_fingerprint_matches_request_fingerprint():
+    request = PlanRequest(model="lstm", machines=2, gpus=4)
+    assert job_fingerprint(request.build_job()) == request.fingerprint()
+    assert family_key(request.build_job()) == request.family()
+
+
+def test_response_round_trip_and_codec():
+    response = PlanResponse(
+        request_id="a", status="ok", source="fresh",
+        iteration_time=0.1, baseline_iteration_time=0.2,
+        strategy_digest="abc", options=("x", "y"), attempts=2,
+    )
+    frame = encode_message(response.to_dict())
+    assert frame.endswith(b"\n")
+    again = PlanResponse.from_dict(decode_message(frame))
+    assert again.options == ("x", "y")
+    assert again.speedup_over_fp32 == pytest.approx(2.0)
+    assert again.ok
+
+
+def test_decode_message_rejects_garbage():
+    with pytest.raises(RequestError, match="undecodable frame"):
+        decode_message(b"{nope\n")
+    with pytest.raises(RequestError, match="JSON object"):
+        decode_message(json.dumps([1, 2]).encode())

@@ -195,6 +195,27 @@ def test_wrong_schema_config_exits_2(tmp_path, capsys):
     assert err.count("\n") == 1
 
 
+def test_typod_optional_key_exits_2_not_silently_defaulted(tmp_path, capsys):
+    """Satellite regression: a misspelled *optional* cluster key used to
+    be dropped on the floor and the default priced instead — the plan
+    looked plausible but described the wrong cluster.  Now it's a
+    loud exit-2 that names both the typo and the accepted spelling."""
+    import json as json_module
+
+    from repro.cluster import nvlink_100g_cluster
+    from repro.config import cluster_to_dict
+
+    data = cluster_to_dict(nvlink_100g_cluster())
+    data["inter_latencey"] = data.pop("inter_latency")
+    bad = tmp_path / "cluster.json"
+    bad.write_text(json_module.dumps(data), encoding="utf-8")
+    assert main(["plan", "--system-config", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "'inter_latencey'" in err
+    assert "inter_latency" in err  # the fix is in the message
+    assert err.count("\n") == 1
+
+
 # -- training engine subcommands ------------------------------------------
 
 

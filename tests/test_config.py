@@ -64,3 +64,51 @@ def test_gc_unknown_algorithm_fails_at_build():
     gc = GCInfo("nonexistent")
     with pytest.raises(ValueError):
         gc.build()
+
+
+# -- unknown-key rejection (typo'd inputs must not silently default) -------
+
+
+def test_model_config_rejects_unknown_keys():
+    from repro.config import model_from_dict, model_to_dict
+
+    data = model_to_dict(get_model("lstm"))
+    data["forward_tiem"] = 0.01  # typo'd optional key
+    with pytest.raises(ValueError, match=r"'forward_tiem'"):
+        model_from_dict(data)
+
+
+def test_model_tensor_rejects_unknown_keys():
+    from repro.config import model_from_dict, model_to_dict
+
+    data = model_to_dict(synthetic_model("m", [(1000, 0.01)]))
+    data["tensors"][0]["num_elments"] = 5
+    with pytest.raises(ValueError, match=r"tensor #0.*'num_elments'"):
+        model_from_dict(data)
+
+
+def test_cluster_config_rejects_unknown_keys():
+    from repro.config import cluster_from_dict, cluster_to_dict
+
+    data = cluster_to_dict(pcie_25g_cluster())
+    data["inter_latencey"] = 1e-3
+    with pytest.raises(ValueError) as excinfo:
+        cluster_from_dict(data)
+    message = str(excinfo.value)
+    assert "'inter_latencey'" in message
+    # The diagnostic teaches the fix: it lists the accepted spelling.
+    assert "inter_latency" in message
+
+
+def test_gc_config_rejects_unknown_keys():
+    from repro.config import gc_from_dict
+
+    with pytest.raises(ValueError, match=r"'ratio'"):
+        gc_from_dict({"algorithm": "dgc", "ratio": 0.01})  # belongs in params
+
+
+def test_config_must_be_json_object():
+    from repro.config import cluster_from_dict
+
+    with pytest.raises(ValueError, match="JSON object, got list"):
+        cluster_from_dict([1, 2])

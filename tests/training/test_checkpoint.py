@@ -149,6 +149,49 @@ def test_latest_valid_falls_back_past_corruption(tmp_path):
     assert [checkpoint_step(p) for p, _ in skipped] == [6]
 
 
+def test_latest_valid_ignores_stray_temp_files(tmp_path):
+    """Leftover temporaries from crashed writers are not candidates.
+
+    A writer that died between ``open`` and ``os.replace`` leaves a
+    ``.ckpt-*.tmp.<pid>`` file behind.  The scanner must neither serve
+    it nor report it as a skipped corruption — it was never published.
+    """
+    for step in (2, 4):
+        save_checkpoint(checkpoint_path(tmp_path, step), {"step": step})
+    # Temp names both older- and newer-looking than the real newest.
+    (tmp_path / ".ckpt-00000001.ckpt.tmp.111").write_bytes(b"")
+    (tmp_path / ".ckpt-00000099.ckpt.tmp.222").write_bytes(b"\x00" * 64)
+    path, state, skipped = latest_valid_checkpoint(tmp_path)
+    assert checkpoint_step(path) == 4
+    assert state == {"step": 4}
+    assert skipped == []
+
+
+def test_latest_valid_survives_concurrent_half_snapshot(tmp_path):
+    """A snapshot torn mid-write is skipped, not trusted.
+
+    Simulates a writer that was killed *after* ``os.replace`` published
+    a partially flushed file (the pathological case a non-atomic
+    filesystem can produce): the newest ``.ckpt`` holds a complete
+    header but only half its body, and the writer's temp file is still
+    sitting next to it.  Restore must fall back to the newest valid
+    snapshot and list only the torn one as skipped.
+    """
+    for step in (3, 6):
+        save_checkpoint(checkpoint_path(tmp_path, step), {"step": step})
+    torn = checkpoint_path(tmp_path, 9)
+    save_checkpoint(torn, {"step": 9, "payload": list(range(256))})
+    blob = torn.read_bytes()
+    header_size = struct.Struct("<8sIIQ").size
+    torn.write_bytes(blob[: header_size + (len(blob) - header_size) // 2])
+    (tmp_path / ".ckpt-00000009.ckpt.tmp.333").write_bytes(blob[:40])
+    path, state, skipped = latest_valid_checkpoint(tmp_path)
+    assert checkpoint_step(path) == 6
+    assert state == {"step": 6}
+    assert [checkpoint_step(p) for p, _ in skipped] == [9]
+    assert "truncated body" in str(skipped[0][1])
+
+
 def test_latest_valid_empty_directory_is_fresh_start(tmp_path):
     assert latest_valid_checkpoint(tmp_path) is None
 
