@@ -155,7 +155,7 @@ def test_perf_planner(benchmark):
     # simulation rate once collapsed to ~0 (the memo-only metric decays
     # with depth: any accepted decision changes every full-chain key);
     # dedup + sound pruning keep the honest rate well above this floor.
-    for name in ("resnet101", "bert-base"):
+    for name in ("resnet101", "bert-base", "gpt2"):
         assert records[name]["cache_hit_rate"] > 0.05, (name, records[name])
     # The incremental engine must deliver a real speedup on the model
     # with the largest refinement churn.  Measured ~3x on an idle
@@ -230,6 +230,99 @@ def test_perf_fusion():
     # acceptance bar: >= 3 zoo models at paper scale).
     improved = sum(1 for rec in records.values() if rec["delta_pct"] > 0)
     assert improved >= (3 if paper_scale() else 2), records
+
+
+#: Ratio-ladder benchmark coverage: bert-base is the gate model (the
+#: deepest zoo model, the one where the doubled portfolio pipeline is
+#: most expensive); at paper scale the sweep covers the full zoo.
+RATIO_MODELS = (
+    tuple(available_models()) if paper_scale() else ("bert-base",)
+)
+
+
+@functools.lru_cache(maxsize=1)
+def ratio_records():
+    from repro.core.options import DEFAULT_RATIO_LADDER
+
+    records = {}
+    for name in RATIO_MODELS:
+        job = _job(name)
+        start = time.perf_counter()
+        result = Espresso(
+            job, ratios=DEFAULT_RATIO_LADDER
+        ).select_strategy()
+        ms = (time.perf_counter() - start) * 1e3
+        stats = result.stats
+        pins = [r for r in result.ratio_schedule if r is not None]
+        records[name] = {
+            "selection_ms": round(ms, 1),
+            "ladder": list(DEFAULT_RATIO_LADDER),
+            "pinned_tensors": len(pins),
+            "iteration_time": result.iteration_time,
+            "fixed_iteration_time": result.fixed_ratio_iteration_time,
+            "improvement_pct": round(
+                (1.0 - result.iteration_time
+                 / result.fixed_ratio_iteration_time) * 100, 3,
+            ),
+            "cache_hit_rate": round(stats.cache_hit_rate, 4),
+            "memo_hit_rate": round(stats.memo_hit_rate, 4),
+        }
+    return records
+
+
+def test_perf_ratio():
+    """Ratio ladder as a planner dimension: selection cost + portfolio.
+
+    Emits the ``"ratio"`` section of BENCH_planner.json: per model, the
+    laddered selection time and the simulated-iteration delta against
+    the fixed-ratio plan the ladder generalizes.
+    """
+    records = ratio_records()
+    merge_bench_json(BENCH_PATH, {"ratio": records})
+
+    table = render_table(
+        ["Model", "selection", "pinned", "iteration", "vs fixed ratio"],
+        [
+            (
+                name,
+                f"{rec['selection_ms']:,.0f} ms",
+                f"{rec['pinned_tensors']}",
+                f"{rec['iteration_time'] * 1e3:.2f} ms",
+                f"{rec['improvement_pct']:+.2f}%",
+            )
+            for name, rec in records.items()
+        ],
+        title="Ratio-laddered planning (portfolio vs fixed ratio)",
+    )
+    emit("perf_ratio", table)
+
+    for name, rec in records.items():
+        # Portfolio guarantee: the ladder never loses to fixed ratio.
+        assert rec["iteration_time"] <= rec["fixed_iteration_time"], name
+        assert rec["selection_ms"] < 120_000, name
+        # Satellite regression floor: the honest answered-without-
+        # simulation rate must not re-collapse to ~0 on the laddered
+        # double pipeline (the shared evaluator keeps the fixed-ratio
+        # pass warm, so the laddered rate sits above the plain one).
+        assert rec["cache_hit_rate"] > 0.05, (name, rec)
+        assert 0.0 <= rec["memo_hit_rate"] <= rec["cache_hit_rate"], name
+
+
+@pytest.mark.bench_regression
+def test_ratio_selection_time_no_regression():
+    """CI gate: bert-base *laddered* selection must not regress >25% vs
+    the committed ``ratio`` section of BENCH_planner.json."""
+    committed = (
+        _COMMITTED.get("ratio", {}).get("bert-base", {}).get("selection_ms")
+    )
+    if committed is None:
+        pytest.skip("no committed laddered bert-base baseline")
+    measured = ratio_records()["bert-base"]["selection_ms"]
+    assert measured <= committed * 1.25, (
+        f"laddered bert-base selection regressed: {measured:.1f} ms vs "
+        f"committed {committed:.1f} ms "
+        f"(+{measured / committed - 1.0:.0%}, gate +25%)"
+    )
 
 
 @pytest.mark.bench_regression

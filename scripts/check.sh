@@ -85,6 +85,18 @@ run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
     --machines 2 --gpus 4 --fusion --check | grep "conformance:"
 
 echo
+echo "== ratio equivalence: laddered plans vs fixed ratio (portfolio + battery) =="
+# The ratio ladder never loses to the fixed-ratio planner on any zoo
+# model, laddered timelines pass the unmodified invariant battery +
+# differential oracle, the adaptive controller replans within budget,
+# and plan --ratios --check stays conformant.
+run_phase python -m pytest -q -m '' tests/core/test_ratio.py \
+    tests/training/test_adaptive.py
+run_phase python -m repro plan --model vgg16 --gc dgc --ratio 0.01 \
+    --machines 2 --gpus 4 --ratios --error-budget 0.9 --check \
+    | grep "conformance:"
+
+echo
 echo "== parallel equivalence: --jobs N bit-identical to serial (zoo) =="
 run_phase python -m pytest -q tests/core/test_parallel.py \
     tests/core/test_parallel_equivalence.py -m ''

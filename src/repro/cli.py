@@ -51,7 +51,7 @@ from repro.core.fusion import (
     load_plan,
     save_plan,
 )
-from repro.core.options import Device
+from repro.core.options import DEFAULT_RATIO_LADDER, Device
 from repro.core.robust import (
     OBJECTIVES,
     DegradationTable,
@@ -125,7 +125,39 @@ def _build_job(args: argparse.Namespace) -> JobConfig:
     else:
         factory = nvlink_100g_cluster if args.testbed == "nvlink" else pcie_25g_cluster
         cluster = factory(num_machines=args.machines, gpus_per_machine=args.gpus)
-    return JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+    job = JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+    # Instantiate the compressor eagerly: a typo'd GC parameter or an
+    # out-of-range ratio surfaces here as a one-line exit-2 diagnostic
+    # instead of a traceback from deep inside the planner.
+    try:
+        job.build_compressor()
+    except ValueError as error:
+        raise CLIConfigError(str(error)) from None
+    return job
+
+
+def _parse_ratios(value: Optional[str]):
+    """``--ratios`` parser: None, 'default', or a comma list of floats."""
+    if value is None:
+        return None
+    if value == "default":
+        return DEFAULT_RATIO_LADDER
+    try:
+        ratios = tuple(
+            float(part) for part in value.split(",") if part.strip()
+        )
+    except ValueError:
+        raise CLIConfigError(
+            f"--ratios wants a comma-separated list of floats, got {value!r}"
+        ) from None
+    if not ratios:
+        raise CLIConfigError("--ratios got an empty list")
+    for ratio in ratios:
+        if not 0.0 < ratio <= 1.0:
+            raise CLIConfigError(
+                f"--ratios entries must be in (0, 1], got {ratio}"
+            )
+    return ratios
 
 
 def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
@@ -207,6 +239,10 @@ def _print_stats(result) -> None:
 
 def _print_strategy_table(job: JobConfig, strategy) -> None:
     rows = []
+    pinned = any(
+        strategy[index].ratio is not None
+        for index in strategy.compressed_indices
+    )
     for index in strategy.compressed_indices:
         tensor = job.model.tensors[index]
         option = strategy[index]
@@ -214,10 +250,16 @@ def _print_strategy_table(job: JobConfig, strategy) -> None:
         scope = "intra+inter" if option.compresses_intra else (
             "inter" if option.compresses_inter else "intra"
         )
-        rows.append((tensor.name, format_bytes(tensor.nbytes), device, scope))
+        row = (tensor.name, format_bytes(tensor.nbytes), device, scope)
+        if pinned:
+            ratio = option.ratio
+            row += (f"{ratio:g}" if ratio is not None else "default",)
+        rows.append(row)
     if rows:
-        print(render_table(["tensor", "size", "device", "scope"], rows,
-                           title="Compressed tensors:"))
+        headers = ["tensor", "size", "device", "scope"]
+        if pinned:
+            headers.append("ratio")
+        print(render_table(headers, rows, title="Compressed tensors:"))
     else:
         print("No tensor benefits from compression on this job.")
 
@@ -269,14 +311,21 @@ def _print_fusion_stats(result) -> None:
     print()
 
 
-def cmd_plan_fusion(args: argparse.Namespace, job: JobConfig) -> int:
+def cmd_plan_fusion(
+    args: argparse.Namespace, job: JobConfig, ratios=None
+) -> int:
     plan = None
     if args.load:
         artifact = load_plan(args.load)
         artifact.check_against(job.model)  # StalePlanError -> exit 2
         plan = artifact.plan()
     planner = FusionPlanner(
-        job, jobs=args.jobs, check=args.check, plan=plan
+        job,
+        jobs=args.jobs,
+        check=args.check,
+        plan=plan,
+        ratios=ratios,
+        error_budget=args.error_budget,
     )
     try:
         result = planner.select_strategy()
@@ -325,15 +374,39 @@ def cmd_plan(args: argparse.Namespace) -> int:
     job = _build_job(args)
     if args.save and not (args.fusion or args.load):
         raise CLIConfigError("--save requires --fusion")
+    ratios = _parse_ratios(args.ratios)
+    if args.error_budget is not None and not 0.0 <= args.error_budget <= 1.0:
+        raise CLIConfigError(
+            f"--error-budget must be in [0, 1], got {args.error_budget}"
+        )
     if args.fusion or args.load:
-        return cmd_plan_fusion(args, job)
-    core = PlanningCore(jobs=args.jobs, check=args.check)
+        return cmd_plan_fusion(args, job, ratios=ratios)
+    core = PlanningCore(
+        jobs=args.jobs,
+        check=args.check,
+        ratios=ratios,
+        error_budget=args.error_budget,
+    )
     try:
         planner, result = core.plan_job_detailed(job)
     except ConformanceError as error:
         print(f"CONFORMANCE FAILURE during planning:\n{error}")
         return 1
     print(result.summary())
+    if result.ratio_laddered:
+        fixed = result.fixed_ratio_iteration_time
+        print(
+            f"ratio ladder: fixed-ratio baseline "
+            f"{fixed * 1e3:.2f} ms -> laddered "
+            f"{result.iteration_time * 1e3:.2f} ms "
+            f"({(fixed / result.iteration_time - 1) * 100:+.1f}%)"
+        )
+    if result.error_budget is not None:
+        print(
+            f"error budget: {result.strategy_error:.4f} of "
+            f"{result.error_budget:g} spent "
+            f"({result.error_budget_utilization:.1%} utilization)"
+        )
     print()
     if args.check:
         # Every timeline the planner materialized was checked in-line;
@@ -746,6 +819,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "plan artifact (implies --fusion; a plan whose "
                            "boundaries no longer match the model trace is "
                            "refused with exit 2)")
+    plan.add_argument("--ratios", nargs="?", const="default", default=None,
+                      metavar="R1,R2,...",
+                      help="search a per-tensor compression-ratio ladder "
+                           "jointly with the pipeline decisions; omit the "
+                           "value for the default ladder "
+                           "(0.001,0.005,0.01,0.05,0.1).  The result is "
+                           "never worse than the fixed-ratio plan")
+    plan.add_argument("--error-budget", type=float, default=None, metavar="B",
+                      help="global compression-error budget in [0,1]: the "
+                           "element-weighted average discarded-energy "
+                           "fraction the plan may spend")
     plan.add_argument("--robust", action="store_true",
                       help="select by a robust objective over the fault "
                            "perturbation ensemble instead of the nominal "

@@ -92,6 +92,24 @@ class Compressor(abc.ABC):
             raise ValueError(f"num_elements must be > 0, got {num_elements}")
         return self.compressed_nbytes(num_elements) / (num_elements * FP32_BYTES)
 
+    def error_energy(self, num_elements: int, ratio: Optional[float] = None) -> float:
+        """Estimated fraction of gradient energy this compressor discards.
+
+        The L-GreCo-style error budget (``core/algorithm.py``) sums this
+        per tensor, weighted by element count, and refuses strategies
+        whose global weighted error exceeds the budget.  ``ratio``
+        overrides the compressor's configured ratio for ladder pricing;
+        compressors without a ratio knob ignore it.
+
+        The base implementation returns 0.0: lossless or unmodeled
+        algorithms (fp16, none, quantizers without a fitted error model)
+        never consume budget.  Sparsifiers override this with closed
+        forms derived from their selection rule.
+        """
+        if num_elements <= 0:
+            raise ValueError(f"num_elements must be > 0, got {num_elements}")
+        return 0.0
+
     def _check_input(self, tensor: np.ndarray) -> np.ndarray:
         arr = np.asarray(tensor, dtype=np.float32)
         if arr.size == 0:

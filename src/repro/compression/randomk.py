@@ -11,6 +11,7 @@ Wire format: k FP32 values + k int32 indices (8 bytes per kept element).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -21,10 +22,19 @@ _INDEX_BYTES = 4
 
 
 def sparse_elements(num_elements: int, ratio: float) -> int:
-    """Number of coordinates kept by a sparsifier (at least one)."""
+    """Number of coordinates kept by a sparsifier (at least one).
+
+    Uses an explicit ceiling, not ``round``: Python rounds half-to-even
+    (banker's rounding), which made k — and therefore the priced wire
+    bytes — non-monotone in ``ratio`` for small tensors (e.g. n=100:
+    round(2.5)=2 but round(1.5)=2 as well, while 0.025 > 0.015).  The
+    ratio-ladder planner prunes on the assumption that cost is monotone
+    non-decreasing in ratio, so k must be too.  ``ceil`` is monotone,
+    keeps at least the old k, and is clamped to ``num_elements``.
+    """
     if num_elements <= 0:
         raise ValueError(f"num_elements must be > 0, got {num_elements}")
-    return max(1, int(round(num_elements * ratio)))
+    return max(1, min(num_elements, math.ceil(num_elements * ratio)))
 
 
 class RandomK(Compressor):
@@ -72,3 +82,14 @@ class RandomK(Compressor):
     def compressed_nbytes(self, num_elements: int) -> int:
         k = sparse_elements(num_elements, self.ratio)
         return k * (FP32_BYTES + _INDEX_BYTES)
+
+    def error_energy(self, num_elements: int, ratio: Optional[float] = None) -> float:
+        """Expected discarded-energy fraction of one random-k pass.
+
+        Coordinates are kept uniformly at random, so in expectation the
+        kept set holds ``k/n`` of the gradient energy regardless of how
+        that energy is distributed; the rest is the (error-feedback
+        recycled) compression error.
+        """
+        k = sparse_elements(num_elements, self.ratio if ratio is None else ratio)
+        return 1.0 - k / num_elements

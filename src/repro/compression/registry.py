@@ -7,6 +7,7 @@ into a concrete :class:`~repro.compression.base.Compressor`.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from repro.compression.base import Compressor
@@ -35,11 +36,35 @@ def available_compressors() -> list:
     return sorted(_FACTORIES)
 
 
+def _accepted_keys(factory: Callable[..., Compressor]) -> list:
+    """Constructor keyword names ``factory`` accepts (sorted), or None
+    when its signature cannot be introspected (C factories, ``**kwargs``
+    catch-alls) — in that case kwargs are forwarded unchecked."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return None
+    keys = []
+    for parameter in signature.parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            keys.append(parameter.name)
+    return sorted(keys)
+
+
 def create_compressor(name: str, **params) -> Compressor:
     """Instantiate the compressor registered under ``name``.
 
     Keyword arguments are forwarded to the algorithm's constructor, e.g.
-    ``create_compressor("dgc", ratio=0.01)``.
+    ``create_compressor("dgc", ratio=0.01)``.  A typo'd keyword
+    (``ration=0.01``) or an out-of-range value (``ratio=0``) raises
+    :class:`ValueError` with a one-line diagnostic naming the accepted
+    keys, so the CLI and the planning service can map it to their usual
+    exit-2 / error-response paths instead of a raw traceback.
     """
     try:
         factory = _FACTORIES[name]
@@ -47,7 +72,21 @@ def create_compressor(name: str, **params) -> Compressor:
         raise ValueError(
             f"unknown compressor {name!r}; available: {available_compressors()}"
         ) from None
-    return factory(**params)
+    accepted = _accepted_keys(factory)
+    if accepted is not None:
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            raise ValueError(
+                f"compressor {name!r} has unknown parameter(s) "
+                f"{', '.join(map(repr, unknown))}; accepted: "
+                f"{', '.join(accepted) if accepted else '(none)'}"
+            )
+    try:
+        return factory(**params)
+    except TypeError as error:
+        raise ValueError(f"compressor {name!r}: {error}") from None
+    except ValueError as error:
+        raise ValueError(f"compressor {name!r}: {error}") from None
 
 
 def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:

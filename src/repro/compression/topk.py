@@ -63,6 +63,22 @@ class TopK(Compressor):
         k = sparse_elements(num_elements, self.ratio)
         return k * (FP32_BYTES + _INDEX_BYTES)
 
+    def error_energy(self, num_elements: int, ratio: Optional[float] = None) -> float:
+        """Discarded-energy fraction of a magnitude top-k pass.
+
+        Model: the sorted per-coordinate energy density decays roughly
+        linearly (density ∝ (1 - u) over the normalized rank u — the
+        standard surrogate L-GreCo fits per layer).  Keeping the top
+        ``r = k/n`` of that density discards ``(1 - r)^2`` of the total
+        energy — strictly less than Random-k's ``1 - r`` for the same
+        ratio, which is exactly why magnitude selection wins.  DGC
+        inherits this: its trim/top-up keeps the same k, and its sampled
+        threshold approximates the same selection.
+        """
+        k = sparse_elements(num_elements, self.ratio if ratio is None else ratio)
+        kept = k / num_elements
+        return (1.0 - kept) ** 2
+
 
 class DGC(TopK):
     """DGC's sampled-threshold Top-k.

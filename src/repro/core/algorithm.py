@@ -43,6 +43,84 @@ from repro.sim.stages import COMM
 IMPROVEMENT_EPSILON = 1e-12
 
 
+class ErrorBudget:
+    """L-GreCo-style global compression-error budget (greedy knapsack).
+
+    Scores a strategy by the element-weighted average of each tensor's
+    discarded-energy fraction (``Compressor.error_energy``, evaluated
+    through the option's effective — possibly ratio-pinned —
+    compressor).  The decision phases treat the budget as an
+    *admissibility filter at accept time*: a candidate may replace the
+    incumbent option of tensor ``index`` only if the resulting global
+    weighted error stays within ``budget``.  The FP32 baseline has zero
+    error, every accepted move preserves admissibility, and returning a
+    tensor to no-compression always frees budget — so the greedy
+    maintains the invariant without backtracking (the greedy-knapsack
+    relaxation of L-GreCo's per-layer program).
+    """
+
+    def __init__(self, evaluator: StrategyEvaluator, budget: float):
+        if not 0.0 <= budget <= 1.0:
+            raise ValueError(f"error budget must be in [0, 1], got {budget}")
+        self.evaluator = evaluator
+        self.budget = budget
+        self._elements = [
+            tensor.num_elements for tensor in evaluator.model.tensors
+        ]
+        self._total_weight = float(sum(self._elements))
+        #: (canonical option key, tensor index) -> weighted error.
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def weighted_error(self, index: int, option: CompressionOption) -> float:
+        """``num_elements * error_energy`` of one tensor's option."""
+        key = (canonical_key(option), index)
+        value = self._cache.get(key)
+        if value is None:
+            if option.compresses:
+                compressor = self.evaluator.compiler.compressor_for(option)
+                elements = self._elements[index]
+                value = elements * compressor.error_energy(elements)
+            else:
+                value = 0.0
+            self._cache[key] = value
+        return value
+
+    def strategy_error(self, strategy: CompressionStrategy) -> float:
+        """The strategy's element-weighted average error fraction."""
+        total = sum(
+            self.weighted_error(index, option)
+            for index, option in enumerate(strategy.options)
+        )
+        return total / self._total_weight
+
+    def utilization(self, strategy: CompressionStrategy) -> float:
+        """Fraction of the budget the strategy consumes (0 budget -> 0
+        when unused, inf when violated)."""
+        error = self.strategy_error(strategy)
+        if self.budget == 0.0:
+            return 0.0 if error == 0.0 else float("inf")
+        return error / self.budget
+
+    def admits_strategy(self, strategy: CompressionStrategy) -> bool:
+        """Whether a whole strategy fits the budget (portfolio seeds)."""
+        return self.strategy_error(strategy) <= self.budget
+
+    def admits(
+        self,
+        strategy: CompressionStrategy,
+        index: int,
+        option: CompressionOption,
+    ) -> bool:
+        """Whether replacing tensor ``index``'s option keeps the budget."""
+        current = sum(
+            self.weighted_error(i, opt)
+            for i, opt in enumerate(strategy.options)
+            if i != index
+        )
+        trial = current + self.weighted_error(index, option)
+        return trial / self._total_weight <= self.budget
+
+
 def gpu_candidate_options(
     include_flat: bool = True, include_rooted: bool = False
 ) -> List[CompressionOption]:
@@ -219,6 +297,7 @@ def gpu_compression_decision(
     prefilter_per_device: int = 3,
     prefilter: Optional[CandidatePrefilter] = None,
     pool: Optional[EvaluatorPool] = None,
+    error_budget: Optional[ErrorBudget] = None,
 ) -> GPUDecisionResult:
     """Run Algorithm 1 and return the GPU-compression strategy.
 
@@ -230,7 +309,10 @@ def gpu_compression_decision(
     built from ``candidates``/``prefilter_per_device``.  An active
     ``pool`` prices each tensor's candidates on per-worker evaluator
     replicas; the deterministic merge keeps the result bit-identical to
-    the serial run.
+    the serial run.  An ``error_budget`` filters each tensor's candidate
+    list to the options that keep the committed strategy's global
+    weighted error within budget; the filter is a pure function of the
+    committed strategy, so serial and parallel runs still agree bitwise.
     """
     if prefilter is None:
         if candidates is None:
@@ -273,11 +355,20 @@ def gpu_compression_decision(
             # candidate whose sound lower bound already reaches it —
             # the decision (including ties) is bit-identical.
             best_option = strategy[index]
+            options = prefilter.for_size(
+                evaluator.model.tensors[index].num_elements
+            )
+            if error_budget is not None:
+                options = [
+                    option
+                    for option in options
+                    if error_budget.admits(strategy, index, option)
+                ]
             priced = price_candidates(
                 evaluator,
                 strategy,
                 index,
-                prefilter.for_size(evaluator.model.tensors[index].num_elements),
+                options,
                 pool=pool,
                 bound=best_time - IMPROVEMENT_EPSILON,
             )
@@ -305,6 +396,7 @@ def refinement_sweep(
     prefilter_per_device: int = 3,
     prefilter: Optional[CandidatePrefilter] = None,
     pool: Optional[EvaluatorPool] = None,
+    error_budget: Optional[ErrorBudget] = None,
 ) -> Tuple[CompressionStrategy, float, bool]:
     """One GetBestOption pass over *all* tensors in the final context.
 
@@ -351,6 +443,14 @@ def refinement_sweep(
                 ]
                 if canonical_key(option) != resident_key
             ]
+            if error_budget is not None:
+                # keep_plain has zero error and always survives, so a
+                # budgeted sweep can still relax tensors back to FP32.
+                options = [
+                    option
+                    for option in options
+                    if error_budget.admits(strategy, index, option)
+                ]
             priced = price_candidates(
                 evaluator,
                 strategy,

@@ -9,12 +9,14 @@ selection-time breakdown the paper's Tables 5 and 6 measure.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.config import JobConfig
 from repro.core.algorithm import (
+    IMPROVEMENT_EPSILON,
     CandidatePrefilter,
+    ErrorBudget,
     GPUDecisionResult,
     device_candidate_options,
     gpu_compression_decision,
@@ -25,6 +27,7 @@ from repro.core.options import (
     CompressionOption,
     Device,
     canonical_key,
+    ladder_options,
     no_compression_option,
 )
 from repro.core.parallel import EvaluatorPool
@@ -61,6 +64,30 @@ class EspressoResult:
     #: full vs incremental simulations, event prefix reuse.  Snapshot
     #: taken when selection finished (``plan --stats`` renders it).
     stats: Optional[EvaluatorStats] = None
+    #: True when the per-tensor ratio ladder was searched.
+    ratio_laddered: bool = False
+    #: Iteration time of the fixed-ratio pipeline when the ladder ran —
+    #: the portfolio guarantee: ``iteration_time`` never exceeds it.
+    fixed_ratio_iteration_time: Optional[float] = None
+    #: The global error budget the plan was constrained to, if any.
+    error_budget: Optional[float] = None
+    #: Element-weighted average error fraction of the selected strategy
+    #: (computed whenever the ladder or a budget was active).
+    strategy_error: Optional[float] = None
+
+    @property
+    def ratio_schedule(self) -> List[Optional[float]]:
+        """Per-tensor pinned ratios (None = the job compressor's own)."""
+        return [option.ratio for option in self.strategy.options]
+
+    @property
+    def error_budget_utilization(self) -> Optional[float]:
+        """Fraction of the error budget consumed, when one was set."""
+        if self.error_budget is None or self.strategy_error is None:
+            return None
+        if self.error_budget == 0.0:
+            return 0.0 if self.strategy_error == 0.0 else float("inf")
+        return self.strategy_error / self.error_budget
 
     @property
     def speedup_over_fp32(self) -> float:
@@ -93,6 +120,21 @@ class EspressoResult:
         )
 
 
+@dataclass
+class _PipelineOutcome:
+    """One full planning pipeline's result (laddered or fixed-ratio)."""
+
+    strategy: CompressionStrategy
+    iteration_time: float
+    gpu_result: GPUDecisionResult
+    offload_result: OffloadResult
+    gpu_seconds: float
+    offload_seconds: float
+    refinement_seconds: float
+    sweeps_run: int
+    portfolio_seeded: bool
+
+
 class Espresso:
     """Selects a near-optimal compression strategy for one training job."""
 
@@ -108,6 +150,8 @@ class Espresso:
         check: bool = False,
         jobs: int = 1,
         oversubscribe: bool = False,
+        ratios: Optional[Sequence[float]] = None,
+        error_budget: Optional[float] = None,
     ):
         """Args:
         job: the three-config training job (model, GC, system).
@@ -144,6 +188,18 @@ class Espresso:
             ``jobs`` processes even on a smaller host.  The parallel
             equivalence tests use this to exercise the real
             multi-process merge path on any machine.
+        ratios: per-tensor compression-ratio ladder (``plan --ratios``).
+            When the job's compressor exposes a ``ratio`` knob, every
+            compressing candidate is expanded into ratio-pinned
+            variants and the planner chooses each tensor's ratio
+            jointly with its pipeline.  A second, fixed-ratio pipeline
+            runs alongside (sharing the evaluator's caches) and the
+            better result is kept — fixed wins ties — so the laddered
+            plan is never worse than the fixed-ratio baseline.
+        error_budget: global compression-error budget in ``[0, 1]``:
+            the element-weighted average of per-tensor discarded-energy
+            fractions the plan may spend (L-GreCo's constraint, solved
+            greedily — see :class:`~repro.core.algorithm.ErrorBudget`).
         """
         self.job = job
         self.jobs = max(1, int(jobs))
@@ -160,11 +216,38 @@ class Espresso:
         )
         self.max_offload_evaluations = max_offload_evaluations
         self.prefilter_per_device = prefilter_per_device
+        # Ratio ladder: expand the candidates into ratio-pinned variants
+        # when the job's compressor actually has a ratio knob; for other
+        # algorithms (fp16, efsignsgd, ...) the pins would be
+        # cost-irrelevant decoration, so the ladder is skipped entirely.
+        self.ratios = tuple(ratios) if ratios else None
+        self._fixed_candidates = self.candidates
+        self.ratio_laddered = False
+        if self.ratios and hasattr(self.evaluator.compiler.compressor, "ratio"):
+            self.candidates = ladder_options(self._fixed_candidates, self.ratios)
+            self.ratio_laddered = len(self.candidates) > len(
+                self._fixed_candidates
+            )
+        self.error_budget = error_budget
+        self._error_budget = (
+            ErrorBudget(self.evaluator, error_budget)
+            if error_budget is not None
+            else None
+        )
         # One prefilter for all phases: Algorithm 1 and every refinement
         # sweep share the per-size candidate lists instead of rebuilding
         # them from scratch each call.
         self.prefilter = CandidatePrefilter(
             self.evaluator.compiler, self.candidates, prefilter_per_device
+        )
+        self._fixed_prefilter = (
+            CandidatePrefilter(
+                self.evaluator.compiler,
+                self._fixed_candidates,
+                prefilter_per_device,
+            )
+            if self.ratio_laddered
+            else self.prefilter
         )
         self.refinement_sweeps = refinement_sweeps
         self.min_sweep_improvement = min_sweep_improvement
@@ -211,23 +294,25 @@ class Espresso:
             if pool is not None:
                 pool.close()
 
-    def _select_strategy(self, pool: Optional[EvaluatorPool]) -> EspressoResult:
-        baseline_time = self.evaluator.iteration_time(self.evaluator.baseline())
-        stats = self.evaluator.stats
-        stats.parallel_requested = self.jobs
-        stats.parallel_jobs = (
-            pool.jobs if pool is not None and pool.active else 1
-        )
-        if pool is not None:
-            stats.parallel_disabled_reason = pool.disabled_reason
-
+    def _run_pipeline(
+        self,
+        pool: Optional[EvaluatorPool],
+        candidates: Sequence[CompressionOption],
+        prefilter: CandidatePrefilter,
+    ) -> "_PipelineOutcome":
+        """Algorithm 1 + Algorithm 2 + portfolio seed + sweeps over one
+        candidate set.  The laddered and fixed-ratio pipelines both run
+        through here, sharing ``self.evaluator``'s caches — the fast
+        layer is exact, so each pipeline's outcome is bit-identical to a
+        standalone planner searching the same candidates."""
         start = time.perf_counter()
         gpu_result = gpu_compression_decision(
             self.evaluator,
-            candidates=self.candidates,
+            candidates=candidates,
             prefilter_per_device=self.prefilter_per_device,
-            prefilter=self.prefilter,
+            prefilter=prefilter,
             pool=pool,
+            error_budget=self._error_budget,
         )
         gpu_seconds = time.perf_counter() - start
 
@@ -248,7 +333,8 @@ class Espresso:
         # sits in a different basin.  Evaluating the six uniform
         # presets costs six F(S) calls and guarantees Espresso never
         # loses to a uniform policy; the refinement sweeps then improve
-        # whichever seed won.
+        # whichever seed won.  Under an error budget a uniform seed is
+        # only admissible if the whole strategy fits the budget.
         portfolio_seeded = False
         n = self.job.model.num_tensors
         builders = (
@@ -259,6 +345,11 @@ class Espresso:
         for builder in builders:
             for device in (Device.GPU, Device.CPU):
                 uniform = CompressionStrategy(options=(builder(device),) * n)
+                if (
+                    self._error_budget is not None
+                    and not self._error_budget.admits_strategy(uniform)
+                ):
+                    continue
                 uniform_time = self.evaluator.iteration_time(uniform)
                 if uniform_time < best_time:
                     strategy, best_time = uniform, uniform_time
@@ -271,10 +362,11 @@ class Espresso:
             strategy, best_time, improved = refinement_sweep(
                 self.evaluator,
                 strategy,
-                self.candidates,
+                candidates,
                 prefilter_per_device=self.prefilter_per_device,
-                prefilter=self.prefilter,
+                prefilter=prefilter,
                 pool=pool,
+                error_budget=self._error_budget,
             )
             sweeps_run += 1
             if not improved:
@@ -294,6 +386,62 @@ class Espresso:
                 break
         refinement_seconds = time.perf_counter() - start
 
+        return _PipelineOutcome(
+            strategy=strategy,
+            iteration_time=best_time,
+            gpu_result=gpu_result,
+            offload_result=offload_result,
+            gpu_seconds=gpu_seconds,
+            offload_seconds=offload_seconds,
+            refinement_seconds=refinement_seconds,
+            sweeps_run=sweeps_run,
+            portfolio_seeded=portfolio_seeded,
+        )
+
+    def _select_strategy(self, pool: Optional[EvaluatorPool]) -> EspressoResult:
+        baseline_time = self.evaluator.iteration_time(self.evaluator.baseline())
+        stats = self.evaluator.stats
+        stats.parallel_requested = self.jobs
+        stats.parallel_jobs = (
+            pool.jobs if pool is not None and pool.active else 1
+        )
+        if pool is not None:
+            stats.parallel_disabled_reason = pool.disabled_reason
+
+        chosen = self._run_pipeline(pool, self.candidates, self.prefilter)
+        fixed: Optional[_PipelineOutcome] = None
+        if self.ratio_laddered:
+            # Portfolio guarantee: also run the fixed-ratio pipeline
+            # (warm through the shared evaluator caches) and keep the
+            # better result — fixed wins ties, so enabling the ladder
+            # can never select a worse plan than leaving it off.
+            fixed = self._run_pipeline(
+                pool, self._fixed_candidates, self._fixed_prefilter
+            )
+            winner = (
+                chosen
+                if chosen.iteration_time
+                < fixed.iteration_time - IMPROVEMENT_EPSILON
+                else fixed
+            )
+            chosen = replace(
+                winner,
+                gpu_seconds=chosen.gpu_seconds + fixed.gpu_seconds,
+                offload_seconds=chosen.offload_seconds + fixed.offload_seconds,
+                refinement_seconds=chosen.refinement_seconds
+                + fixed.refinement_seconds,
+            )
+
+        # Achieved weighted error: reported whenever the ladder or a
+        # budget made error a planning concern.
+        strategy_error: Optional[float] = None
+        if self._error_budget is not None:
+            strategy_error = self._error_budget.strategy_error(chosen.strategy)
+        elif self.ratio_laddered:
+            strategy_error = ErrorBudget(self.evaluator, 1.0).strategy_error(
+                chosen.strategy
+            )
+
         # Final honest parallel accounting: the pool may have degraded
         # (or been clamped) after the initial snapshot above.
         if pool is not None:
@@ -301,16 +449,24 @@ class Espresso:
             stats.parallel_disabled_reason = pool.disabled_reason
 
         return EspressoResult(
-            strategy=strategy,
-            iteration_time=best_time,
+            strategy=chosen.strategy,
+            iteration_time=chosen.iteration_time,
             baseline_iteration_time=baseline_time,
-            gpu_decision=gpu_result,
-            offload=offload_result,
-            selection_seconds=gpu_seconds + offload_seconds + refinement_seconds,
-            gpu_selection_seconds=gpu_seconds,
-            offload_selection_seconds=offload_seconds,
-            refinement_seconds=refinement_seconds,
-            refinement_sweeps_run=sweeps_run,
-            portfolio_seeded=portfolio_seeded,
+            gpu_decision=chosen.gpu_result,
+            offload=chosen.offload_result,
+            selection_seconds=chosen.gpu_seconds
+            + chosen.offload_seconds
+            + chosen.refinement_seconds,
+            gpu_selection_seconds=chosen.gpu_seconds,
+            offload_selection_seconds=chosen.offload_seconds,
+            refinement_seconds=chosen.refinement_seconds,
+            refinement_sweeps_run=chosen.sweeps_run,
+            portfolio_seeded=chosen.portfolio_seeded,
             stats=self.evaluator.stats.snapshot(),
+            ratio_laddered=self.ratio_laddered,
+            fixed_ratio_iteration_time=(
+                fixed.iteration_time if fixed is not None else None
+            ),
+            error_budget=self.error_budget,
+            strategy_error=strategy_error,
         )

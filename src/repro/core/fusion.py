@@ -62,9 +62,13 @@ from repro.core.strategy import (
 )
 from repro.models.base import ModelProfile, TensorProfile
 
-#: Schema tag of the serialized plan artifact.  Bump on any layout
-#: change: :meth:`PlanArtifact.check_against` refuses mismatches.
-PLAN_SCHEMA = "espresso-plan/v1"
+#: Schema tag newly-saved plan artifacts carry.  v2 added the optional
+#: per-group ``ratio_schedule`` and ``error_budget`` fields; v1
+#: artifacts (which simply lack them) still load.
+PLAN_SCHEMA = "espresso-plan/v2"
+
+#: Schemas :meth:`PlanArtifact.check_against` accepts on load.
+_SUPPORTED_SCHEMAS = ("espresso-plan/v1", PLAN_SCHEMA)
 
 #: Sizes used to fit the per-message cost ``alpha + beta * elements``
 #: from the compiled no-compression stage chain.  The large pair sits
@@ -328,11 +332,15 @@ class FusionPlanner:
         oversubscribe: bool = False,
         plan: Optional[FusionPlan] = None,
         refinement_sweeps: int = 2,
+        ratios: Optional[Sequence[float]] = None,
+        error_budget: Optional[float] = None,
     ):
         self.job = job
         self.jobs = max(1, int(jobs))
         self.check = check
         self.oversubscribe = oversubscribe
+        self.ratios = tuple(ratios) if ratios else None
+        self.error_budget = error_budget
         if plan is not None and plan.num_tensors != job.model.num_tensors:
             raise StalePlanError(
                 f"stale plan: boundaries partition {plan.num_tensors} "
@@ -348,6 +356,8 @@ class FusionPlanner:
             jobs=self.jobs,
             check=self.check,
             oversubscribe=self.oversubscribe,
+            ratios=self.ratios,
+            error_budget=self.error_budget,
         ).select_strategy()
         return FusionCandidate(name=name, plan=plan, result=result)
 
@@ -373,7 +383,11 @@ class FusionPlanner:
                 refined = self._plan_candidate("refined", plan)
                 # The sweep's own option assignment can beat the greedy
                 # re-plan of the refined boundaries; keep the better.
-                if swept_time < refined.result.iteration_time - IMPROVEMENT_EPSILON:
+                # Under an error budget the sweep's assignment is not
+                # budget-checked, so only the (budgeted) re-plan counts.
+                if self.error_budget is None and (
+                    swept_time < refined.result.iteration_time - IMPROVEMENT_EPSILON
+                ):
                     refined.result = dataclasses.replace(
                         refined.result,
                         strategy=CompressionStrategy(options=tuple(options)),
@@ -422,6 +436,12 @@ class PlanArtifact:
     group_options: Tuple[str, ...] = ()
     iteration_time: float = 0.0
     schema: str = PLAN_SCHEMA
+    #: v2: per-group pinned compression ratios (None = the job
+    #: compressor's own ratio).  Display/inspection metadata, like
+    #: ``group_options`` — loading pins boundaries only.
+    ratio_schedule: Tuple[Optional[float], ...] = ()
+    #: v2: the global error budget the plan was decided under, if any.
+    error_budget: Optional[float] = None
 
     @classmethod
     def from_result(cls, job: JobConfig, result: FusionResult) -> "PlanArtifact":
@@ -436,6 +456,10 @@ class PlanArtifact:
                 option.describe() for option in result.fused.options
             ),
             iteration_time=result.iteration_time,
+            ratio_schedule=tuple(
+                option.ratio for option in result.fused.options
+            ),
+            error_budget=result.result.error_budget,
         )
 
     def plan(self) -> FusionPlan:
@@ -444,10 +468,11 @@ class PlanArtifact:
     def check_against(self, model: ModelProfile) -> None:
         """Raise :class:`StalePlanError` unless ``model`` matches the
         trace this plan was decided for (one-line diagnostic)."""
-        if self.schema != PLAN_SCHEMA:
+        if self.schema not in _SUPPORTED_SCHEMAS:
             raise StalePlanError(
-                f"stale plan: schema {self.schema!r} is not the supported "
-                f"{PLAN_SCHEMA!r}; re-plan with --fusion --save"
+                f"stale plan: schema {self.schema!r} is not one of the "
+                f"supported {list(_SUPPORTED_SCHEMAS)}; re-plan with "
+                f"--fusion --save"
             )
         if self.num_tensors != model.num_tensors:
             raise StalePlanError(
@@ -477,11 +502,14 @@ class PlanArtifact:
             "boundaries": list(self.boundaries),
             "group_options": list(self.group_options),
             "iteration_time": self.iteration_time,
+            "ratio_schedule": list(self.ratio_schedule),
+            "error_budget": self.error_budget,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlanArtifact":
         try:
+            budget = data.get("error_budget")
             return cls(
                 schema=str(data["schema"]),
                 model_name=str(data["model_name"]),
@@ -490,6 +518,11 @@ class PlanArtifact:
                 boundaries=tuple(int(b) for b in data["boundaries"]),
                 group_options=tuple(str(s) for s in data.get("group_options", ())),
                 iteration_time=float(data.get("iteration_time", 0.0)),
+                ratio_schedule=tuple(
+                    None if ratio is None else float(ratio)
+                    for ratio in data.get("ratio_schedule", ())
+                ),
+                error_budget=None if budget is None else float(budget),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StalePlanError(f"stale plan: unreadable artifact ({exc})")

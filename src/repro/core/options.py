@@ -131,10 +131,16 @@ class CompressionOption:
     Attributes:
         actions: the action tasks in execution order.
         flat: whether the option uses flat (vs hierarchical) communication.
+        ratio: per-tensor compression-ratio override for
+            ratio-parameterized compressors (topk/randomk/dgc); ``None``
+            means the job's configured ratio applies.  Part of the
+            option's *value*: two options differing only in ratio get
+            distinct canonical keys, fingerprints, and memo entries.
     """
 
     actions: Tuple[Action, ...]
     flat: bool
+    ratio: Optional[float] = None
 
     @property
     def compresses(self) -> bool:
@@ -178,11 +184,35 @@ class CompressionOption:
             replace(a, device=device) if a.device is not None else a
             for a in self.actions
         )
-        return CompressionOption(actions=actions, flat=self.flat)
+        return CompressionOption(
+            actions=actions, flat=self.flat, ratio=self.ratio
+        )
+
+    def with_ratio(self, ratio: Optional[float]) -> "CompressionOption":
+        """A copy pinned to a ladder ``ratio`` (``None`` = job default).
+
+        The ratio dimension only changes how many bytes the compressed
+        collectives move; the action path is untouched, so the returned
+        option shares the vocabulary, pairing rules, and pruning logic
+        of the original.
+        """
+        if ratio is not None and not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if ratio == self.ratio:
+            return self
+        return CompressionOption(
+            actions=self.actions, flat=self.flat, ratio=ratio
+        )
 
     def describe(self) -> str:
         """Readable one-line summary of the full path."""
         mode = "flat" if self.flat else "hier"
+        if self.ratio is not None:
+            # The ratio rides on the mode prefix so per-action labels
+            # (and the evaluator's ratio-free stage names) stay shared
+            # across ladder variants, while describe() — the wire-safe
+            # value form service digests hash — still spells the ratio.
+            mode += f"[r={self.ratio:g}]"
         if not self.actions:
             return f"{mode}: (no-op)"
         return f"{mode}: " + " -> ".join(a.describe() for a in self.actions)
@@ -260,6 +290,42 @@ def no_compression_option(flat: bool = False) -> CompressionOption:
     )
 
 
+#: The default ratio ladder ``plan --ratios`` expands sparsifying
+#: candidates over (L-GreCo's per-layer grid, spanning the sparsity
+#: regimes the paper's §5 experiments use).
+DEFAULT_RATIO_LADDER: Tuple[float, ...] = (0.001, 0.005, 0.01, 0.05, 0.1)
+
+
+def ladder_options(
+    options: Sequence[CompressionOption],
+    ratios: Sequence[float],
+) -> List[CompressionOption]:
+    """Expand compressing options into one variant per ladder ratio.
+
+    Every compressing option contributes itself (ratio ``None`` — the
+    job's configured ratio, which may sit outside the ladder) plus one
+    pinned variant per ratio; non-compressing options pass through
+    unchanged (a ratio means nothing without a COMP task).  Duplicates
+    are removed by canonical key, preserving first-seen order so the
+    expansion is deterministic for a deterministic input order.
+    """
+    for ratio in ratios:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    expanded: List[CompressionOption] = []
+    seen = set()
+    for option in options:
+        variants = [option]
+        if option.compresses:
+            variants.extend(option.with_ratio(ratio) for ratio in ratios)
+        for variant in variants:
+            key = canonical_key(variant)
+            if key not in seen:
+                seen.add(key)
+                expanded.append(variant)
+    return expanded
+
+
 def validate_option(option: CompressionOption) -> List[str]:
     """Check an option against the three pruning rules of §4.2.2.
 
@@ -327,4 +393,16 @@ def validate_option(option: CompressionOption) -> List[str]:
             problems.append(f"flat option contains {action.describe()}")
         if not option.flat and action.phase is Phase.FLAT:
             problems.append(f"hierarchical option contains {action.describe()}")
+
+    # Ratio dimension: a pinned ratio must be a usable sparsity and only
+    # makes sense on a path that actually compresses.
+    if option.ratio is not None:
+        if not 0.0 < option.ratio <= 1.0:
+            problems.append(
+                f"ratio must be in (0, 1], got {option.ratio}"
+            )
+        if not option.compresses:
+            problems.append(
+                "ratio pinned on a non-compressing option"
+            )
     return problems

@@ -25,9 +25,10 @@ Payload-state rules (one representative GPU):
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.topology import ClusterSpec
 from repro.comm.routines import LinkParams, Routine, routine_time
@@ -39,6 +40,7 @@ from repro.core.options import (
     Device,
     Phase,
     RoutineName,
+    canonical_key,
 )
 from repro.profiling.device import DeviceProfile
 from repro.profiling.timing import CompressionTimeModel
@@ -97,18 +99,45 @@ class PlanCompiler:
             Device.CPU: CompressionTimeModel(cpu, compressor.work_factor),
         }
         self._cache: Dict[Tuple[int, int], List[Stage]] = {}
+        #: Ratio-pinned shallow copies of ``compressor``, one per ladder
+        #: ratio the planner prices.  ``work_factor`` is ratio-independent
+        #: for every registered algorithm, so the time models stay shared.
+        self._ratio_variants: Dict[float, Compressor] = {}
 
     # -- public API ------------------------------------------------------
+
+    def compressor_for(self, option: CompressionOption) -> Compressor:
+        """The effective compressor pricing ``option``'s wire bytes.
+
+        An option pinned to a ladder ratio is priced by a shallow copy
+        of the job's compressor with its ``ratio`` overridden; options
+        without a pin — or jobs whose compressor has no ratio knob
+        (fp16, efsignsgd, ...) — use the job compressor unchanged, so
+        ratio metadata on such jobs is cost-irrelevant and the chain
+        coarsening in the evaluator merges the variants.
+        """
+        ratio = option.ratio
+        if ratio is None or not hasattr(self.compressor, "ratio"):
+            return self.compressor
+        variant = self._ratio_variants.get(ratio)
+        if variant is None:
+            variant = copy.copy(self.compressor)
+            variant.ratio = ratio
+            self._ratio_variants[ratio] = variant
+        return variant
 
     def stages(self, option: CompressionOption, num_elements: int) -> List[Stage]:
         """The stage chain realizing ``option`` for a tensor of this size.
 
-        Results are cached per (option identity, size): Algorithm 1
+        Results are cached per (option value, size): Algorithm 1
         re-evaluates the same candidates for many same-size tensors.
+        The key is the interned canonical key, not ``id(option)`` — the
+        ratio ladder builds ad-hoc pinned variants whose recycled ids
+        could alias a stale chain, while value keys cannot.
         """
         if num_elements < 1:
             raise ValueError(f"num_elements must be >= 1, got {num_elements}")
-        key = (id(option), num_elements)
+        key = (canonical_key(option), num_elements)
         cached = self._cache.get(key)
         if cached is None:
             cached = self._compile(option, num_elements)
@@ -117,12 +146,16 @@ class PlanCompiler:
 
     # -- compilation -----------------------------------------------------
 
-    def _wire_bytes(self, state: _PayloadState) -> float:
+    def _wire_bytes(
+        self, state: _PayloadState, compressor: Optional[Compressor] = None
+    ) -> float:
         """Current per-GPU payload bytes on the wire."""
+        if compressor is None:
+            compressor = self.compressor
         elements = max(1, math.ceil(state.region_elements))
         if state.compressed:
             return float(
-                state.pieces * self.compressor.compressed_nbytes(elements)
+                state.pieces * compressor.compressed_nbytes(elements)
             )
         return float(state.pieces * elements * FP32_BYTES)
 
@@ -161,11 +194,14 @@ class PlanCompiler:
         )
 
     def _comm_stage(
-        self, action: Action, state: _PayloadState
+        self,
+        action: Action,
+        state: _PayloadState,
+        compressor: Optional[Compressor] = None,
     ) -> Tuple[Stage, int]:
         """Price one collective and return (stage, participants)."""
         resource, link, participants = self._link(action.phase)
-        payload = self._wire_bytes(state)
+        payload = self._wire_bytes(state, compressor)
         if action.phase is Phase.INTER:
             payload *= state.machine_multiplier
         duration = routine_time(_ROUTINE_MAP[action.routine], payload, link)
@@ -206,6 +242,7 @@ class PlanCompiler:
             return []
         stages: List[Stage] = []
         state = _PayloadState(region_elements=float(num_elements))
+        compressor = self.compressor_for(option)
         for action in option.actions:
             if action.task is ActionTask.COMP:
                 stages.append(self._device_stage(action, state))
@@ -217,7 +254,7 @@ class PlanCompiler:
                 stages.append(self._device_stage(action, state))
                 state.pieces = 1
             else:
-                stage, participants = self._comm_stage(action, state)
+                stage, participants = self._comm_stage(action, state, compressor)
                 if stage.duration > 0.0:
                     stages.append(stage)
                 self._apply_comm(action, state, participants)

@@ -432,6 +432,17 @@ class StrategyEvaluator:
         #: fingerprint — stage kinds/labels can differ between
         #: chain-equal options and timelines expose them.
         self._memo: Dict[Tuple[int, ...], float] = {}
+        #: Sound lower bounds on makespans, keyed like ``_memo``.  When
+        #: the batch pricer's suffix bound eliminates a candidate it
+        #: learned ``makespan(trial) >= lb`` — a fact about the trial's
+        #: *full chain fingerprint*, so it stays true across rebases and
+        #: sweeps.  Refinement sweeps re-price the same (base, index)
+        #: candidate sets between accepted changes; consulting the
+        #: stored bound answers those repeats from the memo instead of
+        #: re-deriving the bound, which is what restored the memo hit
+        #: rate on deep homogeneous models (it had collapsed to ~0
+        #: because only *priced* candidates ever reached ``_memo``).
+        self._lb_memo: Dict[Tuple[int, ...], float] = {}
         #: Interning table: (resource tuple, duration tuple) -> chain key.
         #: Evaluator-local on purpose — chain keys depend on this job's
         #: compiled stage durations, so they must never be cached on
@@ -691,6 +702,14 @@ class StrategyEvaluator:
                 stats.cache_hits += 1
                 results[j] = forward + makespan
                 continue
+            if bound is not None:
+                known_lb = self._lb_memo.get(trial_cfp)
+                if known_lb is not None and forward + known_lb >= bound:
+                    # A lower bound proved in an earlier call: the exact
+                    # makespan is >= known_lb, so a min-taking caller
+                    # rejects this candidate no matter its value.
+                    stats.cache_hits += 1
+                    continue
             unique[chain_key] = (
                 self._flat_chain(index, option),
                 trial_cfp,
@@ -731,6 +750,14 @@ class StrategyEvaluator:
                     best_seen is not None and lb > best_seen
                 ):
                     stats.batch_pruned += len(slots)
+                    # Remember the proven bound: makespan(trial_cfp) is a
+                    # pure function of the full chain fingerprint, so the
+                    # fact survives rebases and answers repeat pricings
+                    # of this candidate from the memo (max-merge keeps
+                    # the tightest bound seen).
+                    previous = self._lb_memo.get(trial_cfp)
+                    if previous is None or lb > previous:
+                        self._lb_memo[trial_cfp] = lb
                     continue
                 stats.incremental_sims += 1
                 makespan = inc.swap_chains_flat([(index, *flat)])

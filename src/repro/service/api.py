@@ -27,7 +27,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
 from repro.config import (
@@ -81,6 +81,11 @@ class PlanRequest:
         deadline_s: per-request deadline in seconds; ``None`` means the
             server default applies.
         request_id: caller-chosen correlation id, echoed verbatim.
+        ratios: per-tensor compression-ratio ladder the planner should
+            search (``plan --ratios``); ``None`` plans at the fixed
+            configured ratio.
+        error_budget: global compression-error budget in ``[0, 1]``
+            (``plan --error-budget``).
     """
 
     model: str = "gpt2"
@@ -94,6 +99,8 @@ class PlanRequest:
     system_config: Optional[dict] = None
     deadline_s: Optional[float] = None
     request_id: str = ""
+    ratios: Optional[List[float]] = None
+    error_budget: Optional[float] = None
 
     def build_job(self) -> JobConfig:
         """The :class:`~repro.config.JobConfig` this request describes.
@@ -138,7 +145,24 @@ class PlanRequest:
                     num_machines=int(self.machines),
                     gpus_per_machine=int(self.gpus),
                 )
-            return JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+            if self.ratios is not None:
+                for entry in self.ratios:
+                    if not 0.0 < float(entry) <= 1.0:
+                        raise RequestError(
+                            f"ratios entries must be in (0, 1], got {entry}"
+                        )
+            if self.error_budget is not None and not (
+                0.0 <= float(self.error_budget) <= 1.0
+            ):
+                raise RequestError(
+                    f"error_budget must be in [0, 1], got {self.error_budget}"
+                )
+            job = JobConfig(model=model, gc=gc, system=SystemInfo(cluster=cluster))
+            # Validate compressor kwargs eagerly so a typo'd or
+            # out-of-range parameter is a RequestError at admission,
+            # not a traceback inside the planner thread.
+            job.build_compressor()
+            return job
         except RequestError:
             raise
         except (KeyError, TypeError, ValueError) as error:
@@ -148,9 +172,15 @@ class PlanRequest:
         """Canonical job fingerprint (cache/dedup key).
 
         Hashes the serialized job, so spelling differences that describe
-        the same job collapse to one key.
+        the same job collapse to one key.  The ratio-ladder knobs join
+        the key when set: a laddered plan must never be served from a
+        fixed-ratio cache entry or vice versa.
         """
-        return job_fingerprint(self.build_job())
+        return job_fingerprint(
+            self.build_job(),
+            ratios=self.ratios,
+            error_budget=self.error_budget,
+        )
 
     def family(self) -> str:
         """The (model, GC) family key used for stale-cache fallback."""
@@ -185,7 +215,11 @@ def _digest(payload: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-def job_fingerprint(job: JobConfig) -> str:
+def job_fingerprint(
+    job: JobConfig,
+    ratios: Optional[Sequence[float]] = None,
+    error_budget: Optional[float] = None,
+) -> str:
     """Canonical fingerprint of a job's planning inputs.
 
     Serializes the model trace, GC configuration, and cluster through
@@ -193,14 +227,21 @@ def job_fingerprint(job: JobConfig) -> str:
     hashes the canonical JSON.  Device profiles are part of
     ``SystemInfo`` but not of the wire vocabulary; requests always carry
     the default profiles, so they contribute nothing distinguishing.
+    ``ratios`` / ``error_budget`` (the ratio-ladder planner knobs) are
+    part of the decision and therefore of the key when present.
     """
-    return _digest(
-        {
-            "model": model_to_dict(job.model),
-            "gc": gc_to_dict(job.gc),
-            "cluster": cluster_to_dict(job.system.cluster),
-        }
-    )
+    payload = {
+        "model": model_to_dict(job.model),
+        "gc": gc_to_dict(job.gc),
+        "cluster": cluster_to_dict(job.system.cluster),
+    }
+    # Planner knobs join the fingerprint only when set, so every digest
+    # minted before the ratio dimension existed stays valid.
+    if ratios:
+        payload["ratios"] = [float(ratio) for ratio in ratios]
+    if error_budget is not None:
+        payload["error_budget"] = float(error_budget)
+    return _digest(payload)
 
 
 def family_key(job: JobConfig) -> str:

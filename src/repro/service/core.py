@@ -197,14 +197,26 @@ class PlanningCore:
     selection.
     """
 
-    def __init__(self, jobs: int = 1, check: bool = False) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        check: bool = False,
+        ratios: Optional[Sequence[float]] = None,
+        error_budget: Optional[float] = None,
+    ) -> None:
         self.jobs = max(1, int(jobs))
         self.check = check
+        #: Default ratio-ladder knobs applied to every plan; a wire
+        #: request carrying its own values overrides them per call.
+        self.ratios = tuple(ratios) if ratios else None
+        self.error_budget = error_budget
 
     def plan_job_detailed(
         self,
         job: JobConfig,
         cancel_check: Optional[Callable[[], None]] = None,
+        ratios: Optional[Sequence[float]] = None,
+        error_budget: Optional[float] = None,
     ):
         """Run the full Espresso selection; return ``(planner, result)``.
 
@@ -219,7 +231,15 @@ class PlanningCore:
         surfaces as :class:`EvaluatorWorkerError` so callers retry it
         like any other evaluator failure.
         """
-        planner = Espresso(job, check=self.check, jobs=self.jobs)
+        planner = Espresso(
+            job,
+            check=self.check,
+            jobs=self.jobs,
+            ratios=self.ratios if ratios is None else tuple(ratios),
+            error_budget=(
+                self.error_budget if error_budget is None else error_budget
+            ),
+        )
         if cancel_check is not None:
             planner.evaluator.cancel_check = cancel_check
         try:
@@ -231,9 +251,16 @@ class PlanningCore:
         self,
         job: JobConfig,
         cancel_check: Optional[Callable[[], None]] = None,
+        ratios: Optional[Sequence[float]] = None,
+        error_budget: Optional[float] = None,
     ):
         """Run the full Espresso selection for ``job``."""
-        return self.plan_job_detailed(job, cancel_check=cancel_check)[1]
+        return self.plan_job_detailed(
+            job,
+            cancel_check=cancel_check,
+            ratios=ratios,
+            error_budget=error_budget,
+        )[1]
 
     def plan_request(
         self,
@@ -242,7 +269,12 @@ class PlanningCore:
     ) -> CacheEntry:
         """Fresh plan for a wire request, packaged for cache + response."""
         job = request.build_job()
-        result = self.plan_job(job, cancel_check=cancel_check)
+        result = self.plan_job(
+            job,
+            cancel_check=cancel_check,
+            ratios=tuple(request.ratios) if request.ratios else None,
+            error_budget=request.error_budget,
+        )
         return make_entry(
             job,
             result.strategy,

@@ -253,6 +253,39 @@ class MessageLoss(Fault):
 
 
 @dataclass(frozen=True)
+class RatioChange(Fault):
+    """The adaptive-ratio controller moved the compression ratio.
+
+    Not a hardware degradation: the GraVAC-style runtime controller
+    (:mod:`repro.training.adaptive`) tightens or relaxes the active
+    sparsification ratio, which changes every compressed tensor's wire
+    bytes — the previously selected strategy was priced for a different
+    job.  Modeling the move as a fault keeps the design rule intact
+    (the input job changes, never the engine) and lets
+    :meth:`~repro.core.robust.DegradationTable.replan` re-decide the
+    strategy inside its usual time budget.
+    """
+
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(
+                f"ratio must be in (0, 1], got {self.ratio}"
+            )
+
+    def apply(self, job: JobConfig) -> JobConfig:
+        from repro.config import GCInfo
+
+        params = dict(job.gc.params)
+        params["ratio"] = self.ratio
+        return replace(job, gc=GCInfo(job.gc.algorithm, params))
+
+    def describe(self) -> str:
+        return f"compression ratio -> {self.ratio:g}"
+
+
+@dataclass(frozen=True)
 class FaultModel:
     """A named, composable set of faults — one degraded cluster state.
 

@@ -2,6 +2,7 @@
 with crash-consistent checkpointing, elastic membership, and the
 chaos-replay harness (DESIGN.md §5.6)."""
 
+from repro.training.adaptive import AdaptiveRatioController, RatioDecision
 from repro.training.chaos import TrainingJobSpec, fingerprint
 from repro.training.checkpoint import (
     CheckpointError,
@@ -58,4 +59,6 @@ __all__ = [
     "MembershipRecord",
     "TrainingJobSpec",
     "fingerprint",
+    "AdaptiveRatioController",
+    "RatioDecision",
 ]

@@ -1,0 +1,205 @@
+"""GraVAC-style adaptive compression-ratio control at training time.
+
+The planner decides *how* to compress each tensor; this module decides
+*how hard* to compress as training progresses.  GraVAC's observation is
+that the tolerable compression ratio is not a constant of the job: early
+training survives aggressive sparsification, while loss plateaus often
+mean the gradient signal no longer fits through the current ratio.  The
+:class:`AdaptiveRatioController` watches the training loss in windows,
+compares each window to the previous one, and walks the active ratio
+along a ladder:
+
+* **tighten** (next smaller ratio, more compression) while the loss is
+  still improving beyond ``tighten_threshold`` — the run is earning its
+  bandwidth savings;
+* **relax** (next larger ratio, less compression) when the loss stalls
+  or regresses — give the gradients more wire bits back.
+
+The trainer shares one compressor object across all of its simulated
+workers (``DataParallelTrainer._feedback`` wraps the same instance), so
+assigning ``compressor.ratio`` retunes every replica at once — exactly
+the property the checkpoint schema relies on (the schema names the
+algorithm, not the ratio, so adaptation never invalidates checkpoints).
+
+A ratio move changes every compressed tensor's wire bytes, which means
+the previously selected strategy was priced for a different job.  When
+the controller is given a :class:`~repro.core.robust.DegradationTable`,
+each accepted move replans through
+:meth:`~repro.core.robust.DegradationTable.replan` with the move modeled
+as a :class:`~repro.sim.faults.RatioChange` fault — the planning side
+answers inside its usual time budget and the decision records whether it
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.options import DEFAULT_RATIO_LADDER
+from repro.sim.faults import FaultModel, RatioChange
+
+
+@dataclass
+class RatioDecision:
+    """One accepted ratio move (and the replan it triggered, if any)."""
+
+    step: int
+    previous: float
+    ratio: float
+    direction: str  # "tighten" | "relax"
+    #: Loss improvement of the window that triggered the move, as a
+    #: fraction of the previous window's mean loss.
+    loss_improvement: float
+    #: Wire-bytes reduction factor vs FP32 at the *new* ratio, for the
+    #: trainer's parameter volume (GraVAC's compression gain).
+    compression_gain: float
+    #: Outcome of the budgeted replan, when a table was attached.
+    replan: Optional[object] = None
+
+    def summary(self) -> str:
+        line = (
+            f"step {self.step}: {self.direction} {self.previous:g} -> "
+            f"{self.ratio:g} (window loss {self.loss_improvement:+.2%}, "
+            f"gain {self.compression_gain:.0f}x)"
+        )
+        if self.replan is not None:
+            line += (
+                f"; replanned via {self.replan.source} in "
+                f"{self.replan.seconds * 1e3:.0f} ms"
+                f" ({'within' if self.replan.within_budget else 'OVER'}"
+                f" budget)"
+            )
+        return line
+
+
+class AdaptiveRatioController:
+    """Walks the active compression ratio along a ladder at runtime.
+
+    Args:
+        trainer: a :class:`~repro.training.engine.DataParallelTrainer`
+            whose compressor exposes a ``ratio`` attribute (randomk /
+            topk / dgc).
+        ladder: the ratios the controller may select, any order; stored
+            ascending.  The compressor's current ratio joins the ladder
+            if absent, so the controller always starts on a rung.
+        window: steps per loss window; the controller decides once per
+            window boundary.
+        tighten_threshold: minimum fractional loss improvement between
+            windows that justifies tightening one rung.
+        relax_threshold: improvement below this (e.g. a stall or a
+            regression) relaxes one rung.  Between the thresholds the
+            ratio holds.
+        table: optional :class:`~repro.core.robust.DegradationTable`;
+            every accepted move replans through its budgeted path.
+        replan_budget_seconds: the time budget handed to each replan.
+    """
+
+    def __init__(
+        self,
+        trainer,
+        ladder: Sequence[float] = DEFAULT_RATIO_LADDER,
+        window: int = 4,
+        tighten_threshold: float = 0.01,
+        relax_threshold: float = 0.0,
+        table=None,
+        replan_budget_seconds: float = 5.0,
+    ):
+        compressor = trainer.compressor
+        if not hasattr(compressor, "ratio"):
+            raise ValueError(
+                f"compressor {type(compressor).__name__} has no ratio "
+                f"knob; adaptive ratio control needs randomk/topk/dgc"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if relax_threshold > tighten_threshold:
+            raise ValueError(
+                f"relax_threshold ({relax_threshold}) must not exceed "
+                f"tighten_threshold ({tighten_threshold})"
+            )
+        rungs = set(float(r) for r in ladder)
+        for rung in rungs:
+            if not 0.0 < rung <= 1.0:
+                raise ValueError(f"ladder ratios must be in (0, 1], got {rung}")
+        rungs.add(float(compressor.ratio))
+        self.ladder: List[float] = sorted(rungs)
+        self.trainer = trainer
+        self.window = window
+        self.tighten_threshold = tighten_threshold
+        self.relax_threshold = relax_threshold
+        self.table = table
+        self.replan_budget_seconds = replan_budget_seconds
+        self.decisions: List[RatioDecision] = []
+        self._losses: List[float] = []
+        self._previous_mean: Optional[float] = None
+        self._elements = sum(
+            value.size for value in trainer.model.params.values()
+        )
+
+    @property
+    def ratio(self) -> float:
+        """The active ratio (read through the shared compressor)."""
+        return float(self.trainer.compressor.ratio)
+
+    def compression_gain(self, ratio: Optional[float] = None) -> float:
+        """Wire-bytes reduction vs FP32 for the trainer's parameters."""
+        compressor = self.trainer.compressor
+        dense = self._elements * 4.0
+        compressed = compressor.compressed_nbytes(self._elements)
+        if ratio is not None and hasattr(compressor, "error_energy"):
+            # Scale by the relative ratio: compressed_nbytes prices the
+            # *active* ratio; a hypothetical rung scales linearly in k.
+            compressed *= ratio / self.ratio
+        return dense / max(compressed, 1.0)
+
+    def observe(self, loss: float) -> Optional[RatioDecision]:
+        """Feed one step's training loss; decide at window boundaries.
+
+        Returns the accepted :class:`RatioDecision` when the window that
+        just closed moved the ratio, else None.
+        """
+        self._losses.append(float(loss))
+        if len(self._losses) < self.window:
+            return None
+        mean = sum(self._losses) / len(self._losses)
+        self._losses.clear()
+        previous, self._previous_mean = self._previous_mean, mean
+        if previous is None:
+            return None
+        scale = abs(previous) if previous != 0.0 else 1.0
+        improvement = (previous - mean) / scale
+        index = self.ladder.index(self.ratio)
+        if improvement >= self.tighten_threshold and index > 0:
+            return self._move(index - 1, "tighten", improvement)
+        if improvement < self.relax_threshold and index < len(self.ladder) - 1:
+            return self._move(index + 1, "relax", improvement)
+        return None
+
+    def _move(
+        self, index: int, direction: str, improvement: float
+    ) -> RatioDecision:
+        previous = self.ratio
+        ratio = self.ladder[index]
+        # One shared compressor object: this retunes every worker's
+        # error-feedback path at once.
+        self.trainer.compressor.ratio = ratio
+        replan = None
+        if self.table is not None:
+            fault = FaultModel(
+                name=f"ratio-{ratio:g}", faults=(RatioChange(ratio),)
+            )
+            replan = self.table.replan(
+                fault, budget_seconds=self.replan_budget_seconds
+            )
+        decision = RatioDecision(
+            step=self.trainer.step,
+            previous=previous,
+            ratio=ratio,
+            direction=direction,
+            loss_improvement=improvement,
+            compression_gain=self.compression_gain(),
+            replan=replan,
+        )
+        self.decisions.append(decision)
+        return decision

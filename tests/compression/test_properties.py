@@ -50,6 +50,61 @@ def test_sparsifier_wire_size_deterministic(array, cls, ratio, seed):
         assert compressed.nbytes <= array.size * 4
 
 
+@given(
+    st.integers(min_value=1, max_value=10_000_000),
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    sparsifier,
+)
+@settings(max_examples=120, deadline=None)
+def test_sparse_wire_size_monotone_in_ratio(num_elements, r1, r2, cls):
+    """compressed_nbytes never shrinks when the ratio grows.
+
+    The old ``int(round(n * ratio))`` used banker's rounding, which is
+    not monotone in the ratio — a planner walking a ratio ladder could
+    see a *larger* ratio price *fewer* wire bytes and pick an option
+    whose error model was priced on the wrong k.
+    """
+    lo, hi = sorted((r1, r2))
+    assert (
+        cls(ratio=lo).compressed_nbytes(num_elements)
+        <= cls(ratio=hi).compressed_nbytes(num_elements)
+    )
+
+
+@given(finite_arrays, sparsifier, ratios, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_sparse_wire_size_matches_kept_elements(array, cls, ratio, seed):
+    """compressed_nbytes agrees with the k the compressor actually keeps."""
+    from repro.compression.randomk import sparse_elements
+
+    compressor = cls(ratio=ratio)
+    restored = compressor.decompress(
+        compressor.compress(array, seed=seed)
+    ).ravel()
+    k = sparse_elements(array.size, ratio)
+    # value + index per kept element, exactly k of them on the wire.
+    assert compressor.compressed_nbytes(array.size) == 8 * k
+    # The compressor cannot keep more coordinates than k (duplicated
+    # input values can make fewer *distinct* nonzeros, never more).
+    assert int(np.count_nonzero(restored)) <= k
+    assert 1 <= k <= array.size
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000_000),
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    sparsifier,
+)
+@settings(max_examples=60, deadline=None)
+def test_error_energy_in_unit_interval(num_elements, ratio, cls):
+    """The planner's per-tensor error model is a fraction in [0, 1)."""
+    energy = cls(ratio=ratio).error_energy(num_elements)
+    assert 0.0 <= energy < 1.0
+    # Keeping everything discards nothing.
+    assert cls(ratio=1.0).error_energy(num_elements) == 0.0
+
+
 @given(finite_arrays)
 @settings(max_examples=60, deadline=None)
 def test_signsgd_magnitude_constant(array):

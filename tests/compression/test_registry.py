@@ -28,6 +28,38 @@ def test_unknown_name_raises_with_choices():
         create_compressor("zstd")
 
 
+def test_typoed_kwarg_names_accepted_parameters():
+    """A misspelled parameter is diagnosed, not swallowed by TypeError."""
+    with pytest.raises(ValueError, match=r"unknown parameter\(s\) 'ration'"):
+        create_compressor("dgc", ration=0.01)
+    with pytest.raises(ValueError, match="accepted: ratio"):
+        create_compressor("topk", ration=0.01)
+
+
+def test_out_of_range_param_wrapped_with_compressor_name():
+    """Factory validation errors carry which compressor rejected them."""
+    with pytest.raises(ValueError, match="randomk"):
+        create_compressor("randomk", ratio=0.0)
+    with pytest.raises(ValueError, match="qsgd"):
+        create_compressor("qsgd", levels=0)
+
+
+def test_var_keyword_factory_skips_kwarg_check():
+    """A **kwargs factory opts out of signature-based diagnostics."""
+
+    def factory(**kwargs):
+        compressor = create_compressor("none")
+        compressor.extras = kwargs
+        return compressor
+
+    try:
+        register_compressor("kwargs-test", factory)
+        compressor = create_compressor("kwargs-test", anything_goes=1)
+        assert compressor.extras == {"anything_goes": 1}
+    finally:
+        _FACTORIES.pop("kwargs-test", None)
+
+
 def test_register_custom_compressor():
     class Custom(Compressor):
         name = "custom-test"

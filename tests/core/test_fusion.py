@@ -203,6 +203,32 @@ def test_parallel_fusion_search_bit_identical_to_serial():
     assert parallel.iteration_time == serial.iteration_time
 
 
+def test_fusion_ratio_ladder_parallel_bit_identical():
+    """--fusion --ratios --jobs N: the laddered joint search selects the
+    exact serial decision, and never loses to the fixed-ratio search."""
+    kwargs = dict(ratios=(0.001, 0.01, 0.1))
+    serial = FusionPlanner(JOB, **kwargs).select_strategy()
+    parallel = FusionPlanner(
+        JOB, jobs=3, oversubscribe=True, **kwargs
+    ).select_strategy()
+    assert parallel.fused.fingerprint() == serial.fused.fingerprint()
+    assert parallel.iteration_time == serial.iteration_time
+    fixed = FusionPlanner(JOB).select_strategy()
+    assert serial.iteration_time <= fixed.iteration_time
+
+
+def test_fusion_error_budget_respected():
+    """Under --fusion --error-budget the committed fused strategy's
+    element-weighted error stays within budget."""
+    from repro.core.algorithm import ErrorBudget
+
+    budget = 0.5
+    result = FusionPlanner(JOB, error_budget=budget).select_strategy()
+    evaluator = StrategyEvaluator(fused_job(JOB, result.plan))
+    tracker = ErrorBudget(evaluator, budget)
+    assert tracker.admits_strategy(result.strategy)
+
+
 # -- candidate generators ----------------------------------------------------
 
 
@@ -321,6 +347,36 @@ def test_artifact_round_trip_and_stale_refusal(tmp_path):
     )
     with pytest.raises(StalePlanError):
         loaded.check_against(resized)
+
+
+def test_artifact_v2_round_trips_ratio_fields(tmp_path):
+    """The v2 schema carries ratio_schedule and error_budget through a
+    save/load cycle; a v1 artifact (no ratio fields) still loads."""
+    import json as json_module
+
+    result = FusionPlanner(
+        JOB, ratios=(0.001, 0.01, 0.1), error_budget=0.9
+    ).select_strategy()
+    artifact = PlanArtifact.from_result(JOB, result)
+    assert artifact.schema == "espresso-plan/v2"
+    assert len(artifact.ratio_schedule) == result.plan.num_groups
+    assert artifact.error_budget == 0.9
+    path = tmp_path / "plan.json"
+    save_plan(path, artifact)
+    loaded = load_plan(path)
+    assert loaded == artifact
+    assert loaded.ratio_schedule == artifact.ratio_schedule
+
+    # Strip the v2 fields and downgrade the schema tag: still loads.
+    data = json_module.loads(path.read_text(encoding="utf-8"))
+    data["schema"] = "espresso-plan/v1"
+    del data["ratio_schedule"]
+    del data["error_budget"]
+    path.write_text(json_module.dumps(data), encoding="utf-8")
+    v1 = load_plan(path)
+    assert v1.ratio_schedule == ()
+    assert v1.error_budget is None
+    v1.check_against(JOB.model)  # fresh: no raise
 
 
 def test_load_plan_refuses_garbage(tmp_path):

@@ -85,6 +85,28 @@ def test_parallel_planner_bit_identical_on_random_jobs(
     _assert_identical(_job(specs, gc_index, use_nvlink), jobs)
 
 
+@given(tensor_specs, nvlink, worker_counts,
+       st.sampled_from([None, 0.9, 0.5]))
+@settings(max_examples=4, deadline=None)
+def test_parallel_ratio_ladder_bit_identical(specs, use_nvlink, jobs, budget):
+    """`plan --ratios [--error-budget] --jobs N`: the ratio-laddered
+    pipeline (and its fixed-ratio portfolio twin) fan out through the
+    same pool and the decision does not move."""
+    job = _job(specs, 0, use_nvlink)  # dgc: has the ratio knob
+    kwargs = dict(ratios=(0.001, 0.01, 0.1), error_budget=budget)
+    serial = Espresso(job, **kwargs).select_strategy()
+    parallel = Espresso(
+        job, jobs=jobs, oversubscribe=True, **kwargs
+    ).select_strategy()
+    assert parallel.strategy.options == serial.strategy.options
+    assert parallel.iteration_time == serial.iteration_time
+    assert parallel.ratio_schedule == serial.ratio_schedule
+    assert parallel.strategy_error == serial.strategy_error
+    assert parallel.fixed_ratio_iteration_time == (
+        serial.fixed_ratio_iteration_time
+    )
+
+
 def test_parallel_planner_bit_identical_with_check(tiny_job):
     """`plan --check --jobs N`: the invariant checker stays green and
     changes nothing about the selection."""

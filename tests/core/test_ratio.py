@@ -1,0 +1,286 @@
+"""Ratio as a planner dimension (DESIGN.md §5.10).
+
+The claims that make the ratio ladder safe to ship:
+
+* ladder expansion is pure option algebra (`with_ratio` /
+  `ladder_options`) and every expanded option passes the static
+  validator;
+* ratio-laddered timelines pass the unmodified invariant battery and
+  the O(n²) differential oracle — a pinned ratio only changes wire
+  bytes, never the simulator's rules;
+* the laddered planner is a portfolio: it never loses to the
+  fixed-ratio planner, on synthetic jobs and on every zoo model;
+* the L-GreCo-style error budget is enforced — the committed strategy's
+  element-weighted error energy never exceeds the budget, and a zero
+  budget forbids lossy compression outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.algorithm import ErrorBudget, device_candidate_options
+from repro.core.conformance import validate_strategy
+from repro.core.espresso import Espresso
+from repro.core.options import (
+    DEFAULT_RATIO_LADDER,
+    Device,
+    canonical_key,
+    ladder_options,
+    no_compression_option,
+    validate_option,
+)
+from repro.core.presets import inter_allgather_option
+from repro.core.strategy import (
+    CompressionStrategy,
+    StrategyEvaluator,
+    baseline_strategy,
+)
+from repro.models import available_models, get_model, synthetic_model
+from repro.utils.units import MB, MS
+
+LADDER = (0.001, 0.01, 0.1)
+
+
+def _job(gc="dgc", machines=2, use_nvlink=True):
+    model = synthetic_model(
+        "ratio-test",
+        [
+            (int(1 * MB / 4), 3 * MS),
+            (int(8 * MB / 4), 6 * MS),
+            (int(32 * MB / 4), 8 * MS),
+            (int(2 * MB / 4), 4 * MS),
+            (int(128 * MB / 4), 12 * MS),
+        ],
+        forward_time=15 * MS,
+    )
+    cluster = (
+        nvlink_100g_cluster(num_machines=machines, gpus_per_machine=4)
+        if use_nvlink
+        else pcie_25g_cluster(num_machines=machines, gpus_per_machine=4)
+    )
+    return JobConfig(
+        model=model,
+        gc=GCInfo(gc, {"ratio": 0.01} if gc != "efsignsgd" else {}),
+        system=SystemInfo(cluster=cluster),
+    )
+
+
+# -- option algebra ----------------------------------------------------------
+
+
+def test_with_ratio_is_part_of_option_value():
+    option = inter_allgather_option(Device.GPU)
+    pinned = option.with_ratio(0.05)
+    assert pinned != option
+    assert canonical_key(pinned) != canonical_key(option)
+    assert pinned.ratio == 0.05
+    assert "[r=0.05]" in pinned.describe()
+    # Pinning the current value is the identity (same object).
+    assert pinned.with_ratio(0.05) is pinned
+    assert pinned.with_ratio(None).ratio is None
+    with pytest.raises(ValueError):
+        option.with_ratio(0.0)
+    with pytest.raises(ValueError):
+        option.with_ratio(1.5)
+
+
+def test_with_device_preserves_pinned_ratio():
+    """Offload moves devices via with_device; the pin must survive."""
+    pinned = inter_allgather_option(Device.GPU).with_ratio(0.005)
+    moved = pinned.with_device(Device.CPU)
+    assert moved.ratio == 0.005
+
+
+def test_ladder_options_expand_only_compressing_options():
+    base = [no_compression_option(), inter_allgather_option(Device.GPU)]
+    expanded = ladder_options(base, LADDER)
+    # plain passes through; the compressing option contributes itself
+    # (job-default ratio) plus one pinned variant per rung.
+    assert len(expanded) == 1 + 1 + len(LADDER)
+    assert expanded.count(no_compression_option()) == 1
+    ratios = {option.ratio for option in expanded if option.compresses}
+    assert ratios == {None, *LADDER}
+    with pytest.raises(ValueError):
+        ladder_options(base, (0.1, 2.0))
+
+
+def test_laddered_candidates_pass_static_validator():
+    for option in ladder_options(
+        device_candidate_options(), DEFAULT_RATIO_LADDER
+    ):
+        assert validate_option(option) == []
+
+
+def test_validate_option_rejects_ratio_on_plain():
+    plain = no_compression_option()
+    bad = plain.__class__(
+        actions=plain.actions, flat=plain.flat, ratio=0.01
+    )
+    problems = validate_option(bad)
+    assert any("non-compressing" in problem for problem in problems)
+
+
+# -- ErrorBudget accounting --------------------------------------------------
+
+
+def test_error_budget_accounting():
+    job = _job()
+    evaluator = StrategyEvaluator(job)
+    budget = ErrorBudget(evaluator, 0.5)
+    n = job.model.num_tensors
+    fp32 = baseline_strategy(n)
+    # FP32 carries zero error and is always admissible.
+    assert budget.strategy_error(fp32) == 0.0
+    assert budget.admits_strategy(fp32)
+    # A uniformly compressed strategy at dgc ratio=0.01 has per-tensor
+    # error (1 - k/n)^2 < 1, identical for every tensor, so the
+    # element-weighted mean equals the per-tensor value.
+    option = inter_allgather_option(Device.GPU)
+    uniform = CompressionStrategy(options=(option,) * n)
+    per_tensor = [
+        budget.weighted_error(i, option)
+        / job.model.tensors[i].num_elements
+        for i in range(n)
+    ]
+    assert all(0.0 < e < 1.0 for e in per_tensor)
+    expected = sum(
+        budget.weighted_error(i, option) for i in range(n)
+    ) / sum(t.num_elements for t in job.model.tensors)
+    assert budget.strategy_error(uniform) == pytest.approx(expected)
+    # admits() prices a single-index swap without committing it.
+    assert budget.admits(fp32, 0, option) == budget.admits_strategy(
+        fp32.replace(0, option)
+    )
+    with pytest.raises(ValueError):
+        ErrorBudget(evaluator, -0.1)
+    with pytest.raises(ValueError):
+        ErrorBudget(evaluator, 1.1)
+
+
+def test_zero_budget_forbids_lossy_compression():
+    job = _job()
+    result = Espresso(job, error_budget=0.0).select_strategy()
+    assert result.strategy_error == 0.0
+    budget = ErrorBudget(StrategyEvaluator(job), 0.0)
+    assert budget.admits_strategy(result.strategy)
+
+
+def test_committed_strategy_respects_budget():
+    job = _job(use_nvlink=False)
+    for cap in (0.3, 0.7, 1.0):
+        result = Espresso(job, error_budget=cap).select_strategy()
+        assert result.strategy_error is not None
+        assert result.strategy_error <= cap + 1e-12
+        assert result.error_budget == cap
+        if cap > 0.0:
+            assert 0.0 <= result.error_budget_utilization <= 1.0
+    # A tighter budget can only cost time, never gain it.
+    tight = Espresso(job, error_budget=0.3).select_strategy()
+    loose = Espresso(job, error_budget=1.0).select_strategy()
+    assert tight.iteration_time >= loose.iteration_time
+
+
+# -- invariant battery + O(n²) oracle over laddered timelines ---------------
+
+
+@given(
+    st.lists(
+        st.sampled_from([None, *LADDER]), min_size=5, max_size=5
+    ),
+    st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_laddered_timelines_pass_invariants_and_oracle(ratios, use_nvlink):
+    """Any per-tensor ratio assignment simulates cleanly: the unmodified
+    invariant battery, the O(n²) reference oracle, and the incremental
+    simulator all agree on the laddered timeline."""
+    job = _job(use_nvlink=use_nvlink)
+    base = inter_allgather_option(Device.GPU)
+    options = tuple(
+        no_compression_option() if index == 2
+        else (base if ratio is None else base.with_ratio(ratio))
+        for index, ratio in enumerate(ratios)
+    )
+    strategy = CompressionStrategy(options=options)
+    report = validate_strategy(
+        StrategyEvaluator(job), strategy, name="laddered"
+    )
+    assert report.ok, report.violations
+    assert report.oracle_exact and report.incremental_exact
+
+
+def test_pinned_ratio_changes_wire_bytes_not_structure():
+    """Two timelines differing only in a pinned ratio have the same
+    stage structure; the smaller ratio is never slower on comm."""
+    job = _job()
+    evaluator = StrategyEvaluator(job)
+    base = inter_allgather_option(Device.GPU)
+    n = job.model.num_tensors
+    small = CompressionStrategy(options=(base.with_ratio(0.001),) * n)
+    large = CompressionStrategy(options=(base.with_ratio(0.1),) * n)
+    t_small = evaluator.timeline(small)
+    t_large = evaluator.timeline(large)
+    assert len(t_small.stages) == len(t_large.stages)
+    assert evaluator.iteration_time(small) <= evaluator.iteration_time(
+        large
+    )
+
+
+# -- portfolio guarantee -----------------------------------------------------
+
+
+def test_ladder_never_loses_to_fixed_ratio_synthetic():
+    for use_nvlink in (True, False):
+        job = _job(use_nvlink=use_nvlink)
+        fixed = Espresso(job).select_strategy()
+        laddered = Espresso(job, ratios=LADDER).select_strategy()
+        assert laddered.iteration_time <= fixed.iteration_time
+        # The inner fixed-ratio pipeline is bit-identical to the
+        # standalone fixed planner: the portfolio's floor is exact.
+        assert laddered.fixed_ratio_iteration_time == fixed.iteration_time
+
+
+def test_ladder_noop_for_ratio_free_compressor():
+    """efsignsgd has no ratio knob: the ladder collapses to a plain run
+    and reports itself un-laddered."""
+    job = _job(gc="efsignsgd")
+    fixed = Espresso(job).select_strategy()
+    laddered = Espresso(job, ratios=LADDER).select_strategy()
+    assert not laddered.ratio_laddered
+    assert laddered.fixed_ratio_iteration_time is None
+    assert laddered.iteration_time == fixed.iteration_time
+    assert laddered.strategy.options == fixed.strategy.options
+
+
+def test_ratio_schedule_reports_pins():
+    job = _job(use_nvlink=False)
+    result = Espresso(job, ratios=LADDER).select_strategy()
+    schedule = result.ratio_schedule
+    assert len(schedule) == job.model.num_tensors
+    for index, ratio in enumerate(schedule):
+        assert ratio == result.strategy[index].ratio
+        if ratio is not None:
+            assert ratio in LADDER
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model_name", available_models())
+def test_ladder_never_loses_to_fixed_ratio_on_zoo(model_name):
+    """The acceptance gate: on every zoo model, the ratio-aware plan is
+    never worse than the fixed-ratio plan it generalizes."""
+    job = JobConfig(
+        model=get_model(model_name),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(cluster=nvlink_100g_cluster()),
+    )
+    fixed = Espresso(job).select_strategy()
+    laddered = Espresso(
+        job, ratios=DEFAULT_RATIO_LADDER
+    ).select_strategy()
+    assert laddered.iteration_time <= fixed.iteration_time
+    assert laddered.fixed_ratio_iteration_time == fixed.iteration_time

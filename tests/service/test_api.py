@@ -75,6 +75,32 @@ def test_build_job_rejects_bad_fields():
         ).build_job()
 
 
+def test_build_job_rejects_bad_ratio_fields():
+    with pytest.raises(RequestError, match="ratios"):
+        PlanRequest(model="lstm", ratios=[0.1, 2.0]).build_job()
+    with pytest.raises(RequestError, match="error_budget"):
+        PlanRequest(model="lstm", error_budget=1.5).build_job()
+    with pytest.raises(RequestError, match="ratio"):
+        # Compressor kwargs are validated at build time, not plan time.
+        PlanRequest(model="lstm", gc="dgc", ratio=0.0).build_job()
+
+
+def test_fingerprint_backward_compatible_with_ratio_axes():
+    """Digests minted before the ratio dimension existed stay valid:
+    the payload only grows keys when the new axes are actually set."""
+    base = PlanRequest(model="lstm", machines=2, gpus=4)
+    laddered = PlanRequest(
+        model="lstm", machines=2, gpus=4, ratios=[0.001, 0.01]
+    )
+    budgeted = PlanRequest(
+        model="lstm", machines=2, gpus=4, error_budget=0.5
+    )
+    assert base.fingerprint() == job_fingerprint(base.build_job())
+    assert laddered.fingerprint() != base.fingerprint()
+    assert budgeted.fingerprint() != base.fingerprint()
+    assert laddered.fingerprint() != budgeted.fingerprint()
+
+
 def test_from_dict_rejects_unknown_keys():
     with pytest.raises(RequestError, match="unknown key"):
         PlanRequest.from_dict({"model": "lstm", "deadline": 1.0})

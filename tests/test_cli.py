@@ -216,6 +216,64 @@ def test_typod_optional_key_exits_2_not_silently_defaulted(tmp_path, capsys):
     assert err.count("\n") == 1
 
 
+def test_bad_compressor_param_exits_2_before_planning(capsys):
+    """Compressor kwargs are validated eagerly: a bad ratio surfaces as a
+    one-line exit-2 diagnostic instead of a traceback mid-plan."""
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0",
+        "--machines", "2", "--gpus", "4",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "ratio" in err
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+# -- ratio ladder / error budget flags -------------------------------------
+
+
+def test_plan_ratios_flag_prints_ladder_line(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4",
+        "--ratios",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Espresso selected compression" in out
+    assert "ratio ladder:" in out
+    assert "fixed-ratio baseline" in out
+
+
+def test_plan_explicit_ratio_list_and_budget(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc", "--ratio", "0.01",
+        "--testbed", "pcie", "--machines", "2", "--gpus", "4",
+        "--ratios", "0.001,0.01,0.1", "--error-budget", "0.9",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "error budget:" in out
+    assert "utilization" in out
+
+
+def test_plan_bad_ratios_exit_2(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc",
+        "--machines", "2", "--gpus", "4", "--ratios", "0.1,2.0",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "--ratios" in err
+    assert err.count("\n") == 1
+
+
+def test_plan_bad_error_budget_exits_2(capsys):
+    assert main([
+        "plan", "--model", "lstm", "--gc", "dgc",
+        "--machines", "2", "--gpus", "4", "--error-budget", "1.5",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "--error-budget" in err
+    assert err.count("\n") == 1
+
+
 # -- training engine subcommands ------------------------------------------
 
 

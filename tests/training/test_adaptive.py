@@ -1,0 +1,120 @@
+"""GraVAC-style adaptive ratio control on the convergence harness.
+
+The controller watches windowed training loss, walks the active ratio
+along a ladder through the *shared* compressor object (one assignment
+retunes every worker), and — when given a DegradationTable — replans
+each move through the budgeted replan path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import pcie_25g_cluster
+from repro.config import GCInfo, JobConfig, SystemInfo
+from repro.core.robust import DegradationTable
+from repro.models import get_model
+from repro.sim.faults import RatioChange
+from repro.training import AdaptiveRatioController
+from repro.training.chaos import TrainingJobSpec
+
+LADDER = (0.01, 0.05, 0.1, 0.5)
+
+
+def _trainer(gc="dgc", ratio=0.1, steps=16):
+    spec = TrainingJobSpec(
+        gc=gc, ratio=ratio, workers=2, steps=steps, eval_every=steps,
+        samples=120, features=8, classes=2, informative=4, hidden=8,
+    )
+    return spec.build_trainer()
+
+
+def test_controller_requires_ratio_knob():
+    with pytest.raises(ValueError, match="ratio"):
+        AdaptiveRatioController(_trainer(gc="efsignsgd"))
+    with pytest.raises(ValueError, match="window"):
+        AdaptiveRatioController(_trainer(), window=0)
+    with pytest.raises(ValueError, match="relax_threshold"):
+        AdaptiveRatioController(
+            _trainer(), tighten_threshold=0.0, relax_threshold=0.1
+        )
+    with pytest.raises(ValueError, match="ladder"):
+        AdaptiveRatioController(_trainer(), ladder=(0.1, 1.5))
+
+
+def test_controller_changes_active_ratio_during_training():
+    """The convergence-harness gate: over a short real training run the
+    controller demonstrably moves the active ratio, and the move lands
+    on the shared compressor (not a private copy)."""
+    trainer = _trainer()
+    controller = AdaptiveRatioController(
+        trainer, ladder=LADDER, window=2,
+        tighten_threshold=0.005, relax_threshold=0.0,
+    )
+    start = controller.ratio
+    for _ in range(16):
+        loss = trainer.train_step()
+        controller.observe(loss)
+    assert controller.decisions, "controller never moved the ratio"
+    assert controller.ratio == trainer.compressor.ratio
+    moves = {d.direction for d in controller.decisions}
+    assert moves <= {"tighten", "relax"}
+    for decision in controller.decisions:
+        assert decision.ratio in controller.ladder
+        assert decision.previous != decision.ratio
+        assert decision.compression_gain >= 1.0
+        assert decision.summary()
+    # At least one decision actually moved off the starting rung.
+    assert any(d.ratio != start for d in controller.decisions)
+
+
+def test_controller_replans_within_budget():
+    """Every accepted move replans through DegradationTable.replan and
+    answers inside the handed budget."""
+    job = JobConfig(
+        model=get_model("lstm"),
+        gc=GCInfo("dgc", {"ratio": 0.1}),
+        system=SystemInfo(
+            cluster=pcie_25g_cluster(num_machines=2, gpus_per_machine=4)
+        ),
+    )
+    table = DegradationTable.build(job)
+    trainer = _trainer()
+    controller = AdaptiveRatioController(
+        trainer, ladder=LADDER, window=2, tighten_threshold=0.005,
+        table=table, replan_budget_seconds=30.0,
+    )
+    for _ in range(12):
+        controller.observe(trainer.train_step())
+    assert controller.decisions
+    for decision in controller.decisions:
+        assert decision.replan is not None
+        assert decision.replan.within_budget
+        assert len(decision.replan.strategy) == job.model.num_tensors
+
+
+def test_ratio_change_fault_perturbs_job_not_engine():
+    job = JobConfig(
+        model=get_model("lstm"),
+        gc=GCInfo("dgc", {"ratio": 0.01}),
+        system=SystemInfo(
+            cluster=pcie_25g_cluster(num_machines=2, gpus_per_machine=4)
+        ),
+    )
+    fault = RatioChange(0.05)
+    perturbed = fault.apply(job)
+    assert perturbed.gc.params["ratio"] == 0.05
+    assert perturbed.model == job.model
+    assert job.gc.params["ratio"] == 0.01  # original untouched
+    assert "0.05" in fault.describe()
+    with pytest.raises(ValueError):
+        RatioChange(0.0)
+
+
+def test_compression_gain_tracks_ratio():
+    trainer = _trainer(ratio=0.1)
+    controller = AdaptiveRatioController(trainer, ladder=LADDER)
+    coarse = controller.compression_gain()
+    trainer.compressor.ratio = 0.01
+    fine = controller.compression_gain()
+    assert fine > coarse  # smaller ratio, fewer wire bytes, more gain
