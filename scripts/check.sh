@@ -133,6 +133,19 @@ run_phase python scripts/service_bench.py --requests 60 --workers 2 \
     --conns 4 --verify-plans 2 --sigterm
 
 echo
+echo "== fleet: joint planning portfolio guarantee + seeded churn drill =="
+# Every shipped job mix plans jointly with the invariant battery armed
+# (joint >= selfish aggregate throughput, always), then a seeded churn
+# stream replans through the degradation tables against one cumulative
+# ledger: every replan within budget or explicitly degraded, zero
+# crashes.  Writes BENCH_fleet.json.
+run_phase python -m pytest -q tests/cluster/test_tenancy.py \
+    tests/core/test_fleet.py
+run_phase python scripts/fleet_bench.py --quick
+run_phase python -m repro fleet --mix lstm-pair --check \
+    | grep "conformance:"
+
+echo
 echo "== chaos replay: crash/SIGKILL/corruption recovery is bit-identical =="
 # Bounded by run_phase's PHASE_TIMEOUT like every other phase; artifacts
 # (checkpoints + report.json) land in CHAOS_ARTIFACTS so CI can upload

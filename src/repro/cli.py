@@ -7,6 +7,8 @@ Examples::
     python -m repro plan --model vgg16 --robust --objective worst
     python -m repro compare --model lstm --gc efsignsgd --testbed pcie
     python -m repro faults --model bert-base --gc dgc --ratio 0.01
+    python -m repro fleet --mix pcie-trio --check
+    python -m repro fleet --tenant a:lstm:dgc:0.01 --tenant b:vgg16:topk:0.01
     python -m repro models
     python -m repro options --mode uniform
     python -m repro serve --workers 2 --queue-limit 16 --deadline 5
@@ -30,6 +32,7 @@ from typing import Callable, List, Optional
 
 from repro.baselines import ALL_SYSTEMS, FP32, HiPress, UpperBound
 from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.cluster.tenancy import FleetSpec, TenantSpec, load_fleet
 from repro.config import (
     GCInfo,
     JobConfig,
@@ -43,6 +46,7 @@ from repro.core.conformance import (
     conformance_strategies,
     validate_strategy,
 )
+from repro.core.fleet import example_mixes, plan_fleet
 from repro.core.fusion import (
     FusionPlanner,
     PlanArtifact,
@@ -568,6 +572,130 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant(value: str, index: int) -> TenantSpec:
+    """``--tenant NAME:MODEL:GC[:RATIO]`` parser."""
+    parts = value.split(":")
+    if len(parts) not in (3, 4):
+        raise CLIConfigError(
+            f"--tenant wants NAME:MODEL:GC[:RATIO], got {value!r}"
+        )
+    ratio = None
+    if len(parts) == 4:
+        try:
+            ratio = float(parts[3])
+        except ValueError:
+            raise CLIConfigError(
+                f"--tenant {value!r}: ratio must be a float, "
+                f"got {parts[3]!r}"
+            ) from None
+    try:
+        return TenantSpec(
+            name=parts[0], model=parts[1], gc=parts[2], ratio=ratio
+        )
+    except ValueError as error:
+        raise CLIConfigError(f"tenant #{index}: {error}") from None
+
+
+def _build_fleet(args: argparse.Namespace) -> FleetSpec:
+    given = sum(
+        1 for flag in (args.config, args.mix, args.tenant) if flag
+    )
+    if given > 1:
+        raise CLIConfigError(
+            "give exactly one of --config, --mix, or --tenant ... "
+            "(they are alternative fleet sources)"
+        )
+    if args.config:
+        return _load_config(load_fleet, args.config, "fleet")
+    if args.mix:
+        return example_mixes()[args.mix]
+    if not args.tenant:
+        raise CLIConfigError(
+            "a fleet needs --config PATH, --mix NAME, or at least one "
+            "--tenant NAME:MODEL:GC[:RATIO]"
+        )
+    tenants = tuple(
+        _parse_tenant(value, index)
+        for index, value in enumerate(args.tenant)
+    )
+    factory = (
+        nvlink_100g_cluster if args.testbed == "nvlink" else pcie_25g_cluster
+    )
+    try:
+        cluster = factory(
+            num_machines=args.machines, gpus_per_machine=args.gpus
+        )
+        fleet = FleetSpec(cluster=cluster, tenants=tenants)
+        for tenant in fleet.tenants:
+            tenant.job(cluster)  # surfaces bad GC params as exit 2
+    except ValueError as error:
+        raise CLIConfigError(str(error)) from None
+    return fleet
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    fleet = _build_fleet(args)
+    if args.max_rounds < 1:
+        raise CLIConfigError(
+            f"--max-rounds must be >= 1, got {args.max_rounds}"
+        )
+    result = plan_fleet(
+        fleet,
+        max_rounds=args.max_rounds,
+        cvar_alpha=args.cvar_alpha,
+        check=args.check,
+        jobs=args.jobs,
+    )
+    rows = []
+    for plan in result.tenants:
+        tenant = fleet.tenant(plan.name)
+        rows.append(
+            (
+                plan.name,
+                plan.model,
+                tenant.gc,
+                f"{plan.contended_time * 1e3:.2f} ms",
+                f"{plan.nominal_time * 1e3:.2f} ms",
+                f"{plan.slowdown:.2f}x",
+                f"{plan.throughput:,.0f}/s",
+                plan.source,
+            )
+        )
+    print(render_table(
+        ["tenant", "model", "gc", "contended", "alone", "slowdown",
+         "throughput", "source"],
+        rows,
+        title=f"Fleet plan: {len(result.tenants)} tenants sharing "
+              f"{fleet.cluster.total_gpus} GPUs "
+              f"({fleet.cluster.interconnect}) — mode {result.mode}",
+    ))
+    print()
+    for plan in result.tenants:
+        print(f"{plan.name}: contention {plan.contention.describe()}")
+    delta = (
+        result.aggregate_throughput / result.selfish_aggregate_throughput
+        - 1.0
+        if result.selfish_aggregate_throughput
+        else 0.0
+    )
+    print(
+        f"aggregate throughput: {result.aggregate_throughput:,.0f} "
+        f"samples/s vs selfish {result.selfish_aggregate_throughput:,.0f} "
+        f"({delta:+.1%}); worst tenant slowdown {result.worst_slowdown:.2f}x"
+    )
+    print(result.summary())
+    if args.jobs > 1 and result.parallel_disabled_reason:
+        print(f"note: --jobs {args.jobs} ran serially: "
+              f"{result.parallel_disabled_reason}")
+    if args.check:
+        print()
+        print(
+            f"conformance: {result.timelines_checked} contended timelines "
+            f"checked, 0 violations"
+        )
+    return 0
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     rows = []
     for name in available_models():
@@ -884,6 +1012,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="write a chrome://tracing JSON of the last audited timeline")
     validate.set_defaults(func=cmd_validate)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="jointly plan a multi-tenant job mix sharing one cluster's "
+             "inter-machine links (fixed point + CVaR fallback; never "
+             "worse than selfish planning on aggregate throughput)",
+    )
+    fleet.add_argument("--config", default=None, metavar="PATH",
+                       help="fleet JSON: tenants + cluster "
+                            "(see cluster/tenancy.py)")
+    fleet.add_argument("--mix", default=None,
+                       choices=tuple(sorted(example_mixes())),
+                       help="one of the shipped example job mixes")
+    fleet.add_argument("--tenant", action="append", default=None,
+                       metavar="NAME:MODEL:GC[:RATIO]",
+                       help="inline tenant (repeatable); pairs with "
+                            "--testbed/--machines/--gpus for the shared "
+                            "cluster")
+    fleet.add_argument("--testbed", default="nvlink",
+                       choices=("nvlink", "pcie"))
+    fleet.add_argument("--machines", type=int, default=2)
+    fleet.add_argument("--gpus", type=int, default=2,
+                       help="GPUs per machine")
+    fleet.add_argument("--max-rounds", type=int, default=6,
+                       help="fixed-point iterations before the CVaR "
+                            "fallback against the observed contention "
+                            "envelope")
+    fleet.add_argument("--cvar-alpha", type=float, default=0.25,
+                       help="tail fraction for the CVaR fallback")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the per-tenant planner "
+                            "runs (results are bit-identical for every N)")
+    fleet.add_argument("--check", action="store_true",
+                       help="run the full invariant battery on every "
+                            "tenant's contended timeline")
+    fleet.set_defaults(func=cmd_fleet)
 
     srv = sub.add_parser(
         "serve",

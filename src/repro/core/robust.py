@@ -48,6 +48,7 @@ from repro.core.strategy import (
     baseline_strategy,
 )
 from repro.sim.faults import FaultModel, default_ensemble
+from repro.utils.validation import check_non_negative
 
 #: Robust objective names accepted by :func:`robust_select`.
 WORST_CASE = "worst"
@@ -475,6 +476,46 @@ class DegradationEntry:
 
 
 @dataclass
+class ReplanLedger:
+    """Cumulative replan-time budget shared across a churn storm.
+
+    :meth:`DegradationTable.replan` historically honoured only a
+    *per-event* budget, so a storm of back-to-back faults (elastic
+    membership thrash, fleet tenant churn) could spend
+    ``events x budget`` unbounded total time in full planner runs.  A
+    ledger fixes the accounting: every replan charges its wall-clock
+    here, and the effective budget of the next replan is capped by what
+    remains.  An exhausted ledger still answers (the cheap precomputed
+    scoring always runs — bounded milliseconds), but reports
+    ``within_budget=False`` so the caller degrades explicitly instead
+    of silently keeping a stale plan.
+    """
+
+    total_seconds: float
+    spent_seconds: float = 0.0
+    events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_seconds <= 0.0:
+            raise ValueError(
+                f"total_seconds must be > 0, got {self.total_seconds}"
+            )
+
+    def remaining(self) -> float:
+        return max(0.0, self.total_seconds - self.spent_seconds)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Record one replan's wall-clock against the cumulative budget."""
+        check_non_negative("seconds", seconds)
+        self.spent_seconds += seconds
+        self.events += 1
+
+
+@dataclass
 class ReplanResult:
     """Outcome of a bounded-time replan for a degraded cluster state."""
 
@@ -483,7 +524,9 @@ class ReplanResult:
     source: str  # candidate that won ("table:<fault>", "portfolio:...", "full-plan")
     used_full_planner: bool
     seconds: float
-    #: The budget :meth:`DegradationTable.replan` was asked to honour.
+    #: The effective budget this replan honoured: the per-event budget,
+    #: further capped by the ledger's remaining cumulative budget when
+    #: one was given.
     budget_seconds: float = math.inf
 
     @property
@@ -580,6 +623,7 @@ class DegradationTable:
         self,
         fault_model: FaultModel,
         budget_seconds: float,
+        ledger: Optional[ReplanLedger] = None,
     ) -> ReplanResult:
         """Best strategy for ``fault_model`` obtainable within the budget.
 
@@ -590,8 +634,20 @@ class DegradationTable:
         building the table.  The result is therefore never worse than
         the best precomputed fallback, and equals a fresh plan whenever
         time permits.
+
+        ``budget_seconds`` alone is a *per-event* budget: each call may
+        spend up to that much, so repeated churn spends up to
+        ``events x budget`` in total — callers that face fault storms
+        should pass a shared :class:`ReplanLedger`, which caps the
+        effective budget at the cumulative remainder and is charged
+        this call's wall-clock afterwards.  With an exhausted ledger the
+        replan still answers from the precomputed candidates, but
+        ``within_budget`` is False so the caller can degrade explicitly.
         """
         check_start = time.perf_counter()
+        effective_budget = budget_seconds
+        if ledger is not None:
+            effective_budget = min(budget_seconds, ledger.remaining())
         perturbed = self._fused(fault_model.apply_to_job(self.job))
         num_tensors = perturbed.model.num_tensors
         for entry in self.entries.values():
@@ -626,7 +682,7 @@ class DegradationTable:
 
         used_full = False
         elapsed = time.perf_counter() - check_start
-        if budget_seconds - elapsed >= self.max_plan_seconds:
+        if effective_budget - elapsed >= self.max_plan_seconds:
             planner_factory = self._planner_factory
             if planner_factory is None:
                 from repro.core.espresso import Espresso
@@ -638,11 +694,14 @@ class DegradationTable:
                 best_name = "full-plan"
                 best_strategy = result.strategy
                 best_time = result.iteration_time
+        seconds = time.perf_counter() - check_start
+        if ledger is not None:
+            ledger.charge(seconds)
         return ReplanResult(
             strategy=best_strategy,
             iteration_time=best_time,
             source=best_name,
             used_full_planner=used_full,
-            seconds=time.perf_counter() - check_start,
-            budget_seconds=budget_seconds,
+            seconds=seconds,
+            budget_seconds=effective_budget,
         )

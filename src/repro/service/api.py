@@ -215,6 +215,174 @@ def _digest(payload: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+@dataclass(frozen=True)
+class FleetRequest:
+    """Everything one *fleet* plan decision depends on, as wire data.
+
+    The fleet analogue of :class:`PlanRequest` (``op: "fleet"``): a
+    tenant list plus one shared cluster.  Tenant entries use the same
+    dict form as fleet config files
+    (:meth:`repro.cluster.tenancy.TenantSpec.to_dict`).
+
+    Attributes:
+        tenants: list of tenant dicts (name, model, gc, ratio, gc_params).
+        testbed / machines / gpus: preset shared-cluster family and
+            dimensions, as in :class:`PlanRequest`.
+        system_config: inline cluster (``cluster_to_dict`` form),
+            overriding the preset fields.
+        max_rounds: fixed-point iteration cap before the CVaR fallback.
+        deadline_s: per-request deadline in seconds; ``None`` means the
+            server default applies.
+        request_id: caller-chosen correlation id, echoed verbatim.
+    """
+
+    tenants: List[dict] = field(default_factory=list)
+    testbed: str = "nvlink"
+    machines: int = 8
+    gpus: int = 8
+    system_config: Optional[dict] = None
+    max_rounds: int = 6
+    deadline_s: Optional[float] = None
+    request_id: str = ""
+
+    def build_fleet(self):
+        """The :class:`~repro.cluster.tenancy.FleetSpec` this describes.
+
+        Every invalid field raises :class:`RequestError` with a one-line
+        message (the server's ``status: "error"``, the CLI's exit 2).
+        """
+        from repro.cluster.tenancy import FleetSpec, TenantSpec
+
+        try:
+            if self.system_config is not None:
+                cluster = cluster_from_dict(self.system_config)
+            else:
+                if self.testbed not in TESTBEDS:
+                    raise RequestError(
+                        f"unknown testbed {self.testbed!r}; "
+                        f"expected one of {TESTBEDS}"
+                    )
+                if self.machines < 1 or self.gpus < 1:
+                    raise RequestError(
+                        f"machines/gpus must be >= 1, got "
+                        f"{self.machines}/{self.gpus}"
+                    )
+                factory = (
+                    nvlink_100g_cluster
+                    if self.testbed == "nvlink"
+                    else pcie_25g_cluster
+                )
+                cluster = factory(
+                    num_machines=int(self.machines),
+                    gpus_per_machine=int(self.gpus),
+                )
+            if not isinstance(self.tenants, list) or not self.tenants:
+                raise RequestError(
+                    "fleet request needs a non-empty 'tenants' list"
+                )
+            if self.max_rounds < 1:
+                raise RequestError(
+                    f"max_rounds must be >= 1, got {self.max_rounds}"
+                )
+            tenants = tuple(
+                TenantSpec.from_dict(entry, index=index)
+                for index, entry in enumerate(self.tenants)
+            )
+            fleet = FleetSpec(cluster=cluster, tenants=tenants)
+            for tenant in fleet.tenants:
+                # Validate compressor kwargs eagerly, as build_job does.
+                tenant.job(cluster)
+            return fleet
+        except RequestError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise RequestError(f"bad fleet request: {error}") from None
+
+    def fingerprint(self) -> str:
+        """Canonical fingerprint over every tenant job + the cluster."""
+        fleet = self.build_fleet()
+        return _digest(
+            {
+                "cluster": cluster_to_dict(fleet.cluster),
+                "tenants": {
+                    name: job_fingerprint(job)
+                    for name, job in fleet.jobs().items()
+                },
+                "max_rounds": self.max_rounds,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetRequest":
+        if not isinstance(data, dict):
+            raise RequestError(
+                f"fleet request must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known - {"op"})
+        if unknown:
+            raise RequestError(
+                f"fleet request has unknown key(s) "
+                f"{', '.join(map(repr, unknown))}"
+            )
+        kwargs = {k: v for k, v in data.items() if k in known}
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise RequestError(f"bad fleet request: {error}") from None
+
+
+@dataclass(frozen=True)
+class FleetResponse:
+    """The service's answer to one :class:`FleetRequest`.
+
+    Same status vocabulary as :class:`PlanResponse`.  An ``"ok"``
+    response carries ``mode`` (``"joint"`` / ``"selfish"`` for the
+    portfolio fallback / ``"heuristic"`` for the degraded rung), the
+    fixed-point diagnostics, the aggregate throughputs of both the
+    shipped and the selfish assignment, and one dict per tenant
+    (name, model, source, contended/nominal iteration times, slowdown,
+    throughput, strategy digest, contention description).
+    """
+
+    request_id: str = ""
+    status: str = "ok"
+    reason: Optional[str] = None
+    source: Optional[str] = None
+    degraded: bool = False
+    fingerprint: Optional[str] = None
+    mode: Optional[str] = None
+    converged: bool = False
+    oscillated: bool = False
+    rounds: int = 0
+    aggregate_throughput: Optional[float] = None
+    selfish_aggregate_throughput: Optional[float] = None
+    worst_slowdown: Optional[float] = None
+    tenants: Tuple[dict, ...] = ()
+    parallel_disabled_reason: Optional[str] = None
+    timelines_checked: int = 0
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["tenants"] = list(self.tenants)
+        return {k: v for k, v in data.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetResponse":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "tenants" in kwargs:
+            kwargs["tenants"] = tuple(kwargs["tenants"])
+        return cls(**kwargs)
+
+
 def job_fingerprint(
     job: JobConfig,
     ratios: Optional[Sequence[float]] = None,
@@ -344,6 +512,8 @@ def decode_message(line: bytes) -> dict:
 
 
 __all__ = [
+    "FleetRequest",
+    "FleetResponse",
     "PlanRequest",
     "PlanResponse",
     "RequestError",

@@ -50,6 +50,7 @@ from repro.core.strategy import (
 )
 from repro.core.conformance import validate_strategy
 from repro.service.api import (
+    FleetRequest,
     PlanRequest,
     family_key,
     job_fingerprint,
@@ -282,6 +283,88 @@ class PlanningCore:
             result.baseline_iteration_time,
         )
 
+    def plan_fleet_request(
+        self,
+        request: FleetRequest,
+        cancel_check: Optional[Callable[[], None]] = None,
+    ):
+        """Full joint fleet plan for a wire request.
+
+        Same configuration contract as :meth:`plan_job_detailed`: the
+        server and ``repro fleet`` run the identical
+        :func:`~repro.core.fleet.plan_fleet` invocation, with the
+        cancel seam threaded into every planner and evaluator so the
+        deadline fires inside the pricing loops.  A worker-pool death
+        surfaces as :class:`EvaluatorWorkerError` for the retry loop.
+        """
+        from repro.core.fleet import plan_fleet
+
+        fleet = request.build_fleet()
+        try:
+            return plan_fleet(
+                fleet,
+                max_rounds=request.max_rounds,
+                check=self.check,
+                jobs=self.jobs,
+                cancel_check=cancel_check,
+            )
+        except WorkerPoolError as error:
+            raise EvaluatorWorkerError(
+                f"evaluator pool died: {error}"
+            ) from None
+
+
+def heuristic_fleet(fleet):
+    """Degraded fleet plan: one heuristic rung per tenant, fairly priced.
+
+    The fleet analogue of :func:`heuristic_plan` for the server's
+    degradation ladder: each tenant gets the alpha-beta greedy plan
+    (milliseconds, no planner), and the assignment is then priced under
+    its own contention by the same one-shot evaluation the joint
+    planner uses — so the degraded response's numbers mean the same
+    thing as a fresh one's, just for a worse assignment.
+
+    Returns a :class:`~repro.core.fleet.FleetPlanResult` with
+    ``mode="heuristic"``.
+    """
+    from repro.core.fleet import (
+        FleetPlanResult,
+        TenantPlan,
+        evaluate_assignment,
+    )
+
+    jobs_by_name = fleet.jobs()
+    strategies = {
+        name: heuristic_plan(job)[0] for name, job in jobs_by_name.items()
+    }
+    evaluation = evaluate_assignment(fleet, strategies)
+    tenants = tuple(
+        TenantPlan(
+            name=name,
+            model=jobs_by_name[name].model.name,
+            strategy=strategies[name],
+            nominal_time=evaluation.nominal_times[name],
+            contended_time=evaluation.contended_times[name],
+            throughput=evaluation.throughputs[name],
+            contention=evaluation.models[name],
+            source="heuristic",
+        )
+        for name in sorted(jobs_by_name)
+    )
+    return FleetPlanResult(
+        fleet=fleet,
+        tenants=tenants,
+        mode="heuristic",
+        converged=False,
+        oscillated=False,
+        rounds=0,
+        aggregate_throughput=evaluation.aggregate_throughput,
+        selfish_aggregate_throughput=evaluation.aggregate_throughput,
+        timelines_checked=evaluation.timelines_checked,
+        parallel_disabled_reason=None,
+        plan_seconds=0.0,
+    )
+
 
 def heuristic_plan(
     job: JobConfig,
@@ -387,6 +470,7 @@ __all__ = [
     "CacheEntry",
     "PlanningCore",
     "StrategyCache",
+    "heuristic_fleet",
     "heuristic_plan",
     "make_entry",
     "run_systems",

@@ -29,6 +29,12 @@ fallback path.
 Ops (JSON-lines; any object without an ``op`` is a plan request):
 
 * ``{"op": "plan", ...PlanRequest fields}`` -> PlanResponse
+* ``{"op": "fleet", ...FleetRequest fields}`` -> FleetResponse: the
+  joint multi-tenant planner behind the same admission control, queue,
+  deadline, breaker, and retry machinery; its degraded rung is the
+  per-tenant heuristic fleet (no exact cache — a fleet answer depends
+  on every tenant, so plan-cache reuse happens inside the planner, not
+  at the response layer)
 * ``{"op": "health"}`` -> readiness + breaker/cache/queue snapshot,
   answered immediately (never queued behind planning work)
 * ``{"op": "stats"}`` -> full counter dump
@@ -48,6 +54,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.service.api import (
+    FleetRequest,
+    FleetResponse,
     PlanRequest,
     PlanResponse,
     RequestError,
@@ -59,11 +67,13 @@ from repro.service.api import (
     encode_message,
     family_key,
     job_fingerprint,
+    strategy_digest,
 )
 from repro.service.core import (
     CacheEntry,
     PlanningCore,
     StrategyCache,
+    heuristic_fleet,
     heuristic_plan,
     make_entry,
 )
@@ -317,6 +327,8 @@ class PlanningServer:
             return {"op": "drain", "status": "draining"}
         if op == "plan":
             return await self.submit(message)
+        if op == "fleet":
+            return await self.submit_fleet(message)
         self.stats.errors += 1
         return PlanResponse(
             status="error", reason=f"unknown op {op!r}"
@@ -395,6 +407,52 @@ class PlanningServer:
         self.queue.put_nowait((request, deadline, future))
         return await future
 
+    async def submit_fleet(self, message: dict) -> dict:
+        """Admission control for ``op: "fleet"`` — same gates as plans."""
+        self.stats.received += 1
+        request_id = str(message.get("request_id", ""))
+        try:
+            request = FleetRequest.from_dict(message)
+        except RequestError as error:
+            self.stats.errors += 1
+            return FleetResponse(
+                request_id=request_id, status="error", reason=str(error)
+            ).to_dict()
+        if self.draining:
+            self.stats.rejected_draining += 1
+            return FleetResponse(
+                request_id=request.request_id,
+                status="rejected",
+                reason=f"draining ({self.drain_reason}): "
+                f"refusing new fleet requests",
+            ).to_dict()
+        if self.queue.full():
+            self.stats.rejected_saturated += 1
+            return FleetResponse(
+                request_id=request.request_id,
+                status="rejected",
+                reason=f"admission control: queue saturated "
+                f"({self.queue.qsize()} queued, limit "
+                f"{self.config.queue_limit}); retry later",
+            ).to_dict()
+        budget = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        try:
+            deadline = Deadline(budget)
+        except ValueError as error:
+            self.stats.errors += 1
+            return FleetResponse(
+                request_id=request.request_id,
+                status="error",
+                reason=str(error),
+            ).to_dict()
+        future = asyncio.get_running_loop().create_future()
+        self.queue.put_nowait((request, deadline, future))
+        return await future
+
     async def _worker(self, index: int) -> None:
         while True:
             item = await self.queue.get()
@@ -402,12 +460,17 @@ class PlanningServer:
                 self.queue.task_done()
                 return
             request, deadline, future = item
+            fleet = isinstance(request, FleetRequest)
             self.in_flight += 1
             try:
-                response = await self._process(request, deadline)
+                if fleet:
+                    response = await self._process_fleet(request, deadline)
+                else:
+                    response = await self._process(request, deadline)
             except Exception as error:  # the answer-every-request net
                 self.stats.errors += 1
-                response = PlanResponse(
+                response_cls = FleetResponse if fleet else PlanResponse
+                response = response_cls(
                     request_id=request.request_id,
                     status="error",
                     reason=f"internal error: {type(error).__name__}: {error}",
@@ -528,6 +591,199 @@ class PlanningServer:
                 self._chaos_sleep(chaos.slow_seconds, token)
         token.check()
         return self.core.plan_request(request, cancel_check=token.check)
+
+    async def _process_fleet(
+        self, request: FleetRequest, deadline: Deadline
+    ) -> dict:
+        """The fleet twin of :meth:`_process`: same gates, same ladder
+        shape.  No exact-cache rung (a fleet answer couples every
+        tenant); the degraded rung is the per-tenant heuristic fleet."""
+        try:
+            fingerprint = request.fingerprint()  # also validates
+        except RequestError as error:
+            self.stats.errors += 1
+            return FleetResponse(
+                request_id=request.request_id,
+                status="error",
+                reason=str(error),
+                elapsed_s=deadline.elapsed(),
+            ).to_dict()
+
+        if deadline.expired():
+            # Spent its whole budget queued: not an evaluator failure,
+            # so the breaker is not charged.
+            self.stats.queue_expired += 1
+            return await self._degraded_fleet(
+                request,
+                fingerprint,
+                deadline,
+                reason=f"deadline of {deadline.budget_s:.3f}s expired "
+                f"after {deadline.elapsed():.3f}s in queue",
+            )
+
+        if not self.breaker.allow():
+            return await self._degraded_fleet(
+                request,
+                fingerprint,
+                deadline,
+                reason=f"circuit breaker open "
+                f"({self.breaker.consecutive_failures} consecutive "
+                f"failures); planner bypassed",
+            )
+
+        attempts = 0
+        while True:
+            attempts += 1
+            token = CancelToken(deadline)
+            try:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._executor,
+                    self._fleet_sync,
+                    request,
+                    token,
+                    attempts - 1,
+                )
+            except EvaluatorWorkerError as error:
+                self.stats.worker_failures += 1
+                self.breaker.record_failure()
+                if self.breaker.state == OPEN:
+                    return await self._degraded_fleet(
+                        request,
+                        fingerprint,
+                        deadline,
+                        reason=f"circuit breaker opened after evaluator "
+                        f"failure: {error}",
+                    )
+                delay = self.config.retry.delay(attempts)
+                if (
+                    attempts > self.config.retry.max_retries
+                    or deadline.remaining() <= delay
+                ):
+                    return await self._degraded_fleet(
+                        request,
+                        fingerprint,
+                        deadline,
+                        reason=f"evaluator failed {attempts}x "
+                        f"(last: {error}); retries exhausted",
+                    )
+                self.stats.retries += 1
+                await asyncio.sleep(delay)
+                continue
+            except (DeadlineExceeded, RequestCancelled) as error:
+                self.stats.deadline_misses += 1
+                self.breaker.record_failure()
+                return await self._degraded_fleet(
+                    request, fingerprint, deadline, reason=str(error)
+                )
+            self.breaker.record_success()
+            self.stats.fresh += 1
+            return self._fleet_response(
+                request,
+                result,
+                fingerprint,
+                SOURCE_FRESH,
+                deadline,
+                attempts=attempts,
+            )
+
+    def _fleet_sync(
+        self, request: FleetRequest, token: CancelToken, attempt: int
+    ):
+        """One fleet-planning attempt on an executor thread."""
+        chaos = self.config.chaos
+        if chaos is not None and chaos.active:
+            action = chaos.action(request.request_id, attempt)
+            if action == KILL:
+                raise EvaluatorWorkerError(
+                    f"injected evaluator kill (chaos, attempt {attempt})"
+                )
+            if action == SLOW:
+                self._chaos_sleep(chaos.slow_seconds, token)
+        token.check()
+        return self.core.plan_fleet_request(
+            request, cancel_check=token.check
+        )
+
+    async def _degraded_fleet(
+        self,
+        request: FleetRequest,
+        fingerprint: str,
+        deadline: Deadline,
+        reason: str,
+    ) -> dict:
+        """Degraded fleet rung: per-tenant heuristic plans, fairly
+        priced under their own contention, on the fallback executor."""
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._fallback_executor,
+                lambda: heuristic_fleet(request.build_fleet()),
+            )
+        except Exception as error:
+            self.stats.refused += 1
+            return FleetResponse(
+                request_id=request.request_id,
+                status="rejected",
+                reason=f"{reason}; heuristic fallback also failed: {error}",
+                elapsed_s=deadline.elapsed(),
+            ).to_dict()
+        self.stats.degraded += 1
+        self.stats.heuristic_serves += 1
+        return self._fleet_response(
+            request,
+            result,
+            fingerprint,
+            SOURCE_HEURISTIC,
+            deadline,
+            degraded=True,
+            reason=reason,
+        )
+
+    def _fleet_response(
+        self,
+        request: FleetRequest,
+        result,
+        fingerprint: str,
+        source: str,
+        deadline: Deadline,
+        degraded: bool = False,
+        reason: Optional[str] = None,
+        attempts: int = 1,
+    ) -> dict:
+        self.stats.served += 1
+        tenants = tuple(
+            {
+                "name": plan.name,
+                "model": plan.model,
+                "source": plan.source,
+                "iteration_time": plan.contended_time,
+                "nominal_time": plan.nominal_time,
+                "slowdown": plan.slowdown,
+                "throughput": plan.throughput,
+                "strategy_digest": strategy_digest(plan.strategy),
+                "contention": plan.contention.describe(),
+            }
+            for plan in result.tenants
+        )
+        return FleetResponse(
+            request_id=request.request_id,
+            status="ok",
+            reason=reason,
+            source=source,
+            degraded=degraded,
+            fingerprint=fingerprint,
+            mode=result.mode,
+            converged=result.converged,
+            oscillated=result.oscillated,
+            rounds=result.rounds,
+            aggregate_throughput=result.aggregate_throughput,
+            selfish_aggregate_throughput=result.selfish_aggregate_throughput,
+            worst_slowdown=result.worst_slowdown,
+            tenants=tenants,
+            parallel_disabled_reason=result.parallel_disabled_reason,
+            timelines_checked=result.timelines_checked,
+            attempts=attempts,
+            elapsed_s=deadline.elapsed(),
+        ).to_dict()
 
     @staticmethod
     def _chaos_sleep(seconds: float, token: CancelToken) -> None:

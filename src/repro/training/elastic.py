@@ -37,7 +37,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import JobConfig
-from repro.core.robust import DegradationTable, ReplanResult
+from repro.core.robust import DegradationTable, ReplanLedger, ReplanResult
 from repro.sim.faults import Fault, FaultModel
 from repro.training.engine import DataParallelTrainer, TrainingCurve
 
@@ -156,9 +156,15 @@ class ElasticController:
             :class:`~repro.core.robust.DegradationTable`; when present,
             every membership change replans the compression strategy
             for the new topology within ``budget_seconds``.
-        budget_seconds: replan time budget; defaults to twice the worst
-            single-plan time observed while building the table (enough
-            room for a full planner run, still bounded).
+        budget_seconds: *per-event* replan time budget; defaults to
+            twice the worst single-plan time observed while building
+            the table (enough room for a full planner run, still
+            bounded).  Per-event means a storm of K events may spend up
+            to K budgets in total — bound that with ``ledger``.
+        ledger: optional shared :class:`~repro.core.robust.ReplanLedger`
+            charging every replan against one cumulative budget; once
+            exhausted, further replans answer from the precomputed
+            candidates only and report ``within_budget=False``.
     """
 
     def __init__(
@@ -166,6 +172,7 @@ class ElasticController:
         events: Sequence[MembershipEvent],
         table: Optional[DegradationTable] = None,
         budget_seconds: Optional[float] = None,
+        ledger: Optional[ReplanLedger] = None,
     ):
         events = tuple(events)
         for previous, current in zip(events, events[1:]):
@@ -181,6 +188,7 @@ class ElasticController:
         self.events = events
         self.table = table
         self.budget_seconds = budget_seconds
+        self.ledger = ledger
         self.log = MembershipLog()
 
     def _replan_budget(self) -> float:
@@ -209,7 +217,9 @@ class ElasticController:
         if self.table is not None:
             budget = self._replan_budget()
             replan = self.table.replan(
-                membership_model(event.workers), budget_seconds=budget
+                membership_model(event.workers),
+                budget_seconds=budget,
+                ledger=self.ledger,
             )
         self.log.append(
             MembershipRecord(

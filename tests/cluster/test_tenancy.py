@@ -1,0 +1,289 @@
+"""Fleet vocabulary + the contention projection's conservation laws.
+
+The hypothesis properties pin the two contracts the joint planner
+depends on: the fleet-induced ``DegradedLink`` factors are
+mass-conserving (the bandwidth taken from a tenant equals the other
+tenants' offered wire traffic, whenever the clamp is inactive) and
+bit-identical across any ordering of the job list.
+"""
+
+import itertools
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import nvlink_100g_cluster, pcie_25g_cluster
+from repro.cluster.tenancy import (
+    FleetSpec,
+    LinkLoad,
+    MIN_BANDWIDTH_SHARE,
+    TenantSpec,
+    contention_models,
+    link_load,
+    load_fleet,
+    save_fleet,
+)
+from repro.core.strategy import StrategyEvaluator, baseline_strategy
+from repro.sim.faults import CPUContention, DegradedLink
+
+
+def make_fleet(machines=2, gpus=2, testbed="nvlink"):
+    factory = nvlink_100g_cluster if testbed == "nvlink" else pcie_25g_cluster
+    return FleetSpec(
+        cluster=factory(num_machines=machines, gpus_per_machine=gpus),
+        tenants=(
+            TenantSpec(name="a", model="lstm", gc="dgc", ratio=0.01),
+            TenantSpec(name="b", model="lstm", gc="efsignsgd"),
+        ),
+    )
+
+
+def scale_of(model) -> float:
+    for fault in model.faults:
+        if isinstance(fault, DegradedLink):
+            return fault.bandwidth_scale
+    return 1.0
+
+
+def stolen_of(model) -> int:
+    for fault in model.faults:
+        if isinstance(fault, CPUContention):
+            return fault.stolen_workers
+    return 0
+
+
+# -- spec vocabulary -------------------------------------------------------
+
+
+def test_tenant_spec_validation():
+    with pytest.raises(ValueError):
+        TenantSpec(name="", model="lstm")
+    with pytest.raises(ValueError):
+        TenantSpec(name="a", model="not-a-model")
+    with pytest.raises(ValueError):
+        TenantSpec(name="a", model="lstm", ratio=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec(name="a", model="lstm", ratio=1.5)
+    tenant = TenantSpec(name="a", model="lstm", gc="topk", ratio=0.01)
+    assert tenant.gc_info().params["ratio"] == 0.01
+
+
+def test_tenant_job_is_ordinary_job():
+    fleet = make_fleet()
+    job = fleet.tenants[0].job(fleet.cluster)
+    assert job.model.name == "lstm"
+    assert job.gc.algorithm == "dgc"
+    assert job.system.cluster == fleet.cluster
+
+
+def test_tenant_bad_gc_params_surface_at_spec_time():
+    tenant = TenantSpec(
+        name="a", model="lstm", gc="dgc", gc_params={"ratio": 7.0}
+    )
+    with pytest.raises(ValueError):
+        tenant.job(nvlink_100g_cluster(2, 2))
+
+
+def test_fleet_spec_rejects_duplicates_and_empty():
+    cluster = nvlink_100g_cluster(2, 2)
+    with pytest.raises(ValueError):
+        FleetSpec(cluster=cluster, tenants=())
+    with pytest.raises(ValueError):
+        FleetSpec(
+            cluster=cluster,
+            tenants=(
+                TenantSpec(name="a", model="lstm"),
+                TenantSpec(name="a", model="vgg16"),
+            ),
+        )
+
+
+def test_fleet_round_trip_and_unknown_keys(tmp_path):
+    fleet = make_fleet()
+    path = tmp_path / "fleet.json"
+    save_fleet(fleet, path)
+    loaded = load_fleet(path)
+    assert loaded == fleet
+
+    data = fleet.to_dict()
+    data["surprise"] = 1
+    with pytest.raises(ValueError, match="surprise"):
+        FleetSpec.from_dict(data)
+
+    tenant_data = fleet.tenants[0].to_dict()
+    tenant_data["typo"] = True
+    with pytest.raises(ValueError, match="typo"):
+        TenantSpec.from_dict(tenant_data, index=0)
+
+
+def test_fleet_from_dict_testbed_form_and_conflicts():
+    fleet = FleetSpec.from_dict(
+        {
+            "testbed": "pcie",
+            "machines": 2,
+            "gpus": 2,
+            "tenants": [{"name": "a", "model": "lstm"}],
+        }
+    )
+    assert fleet.cluster == pcie_25g_cluster(2, 2)
+    with pytest.raises(ValueError, match="not both"):
+        FleetSpec.from_dict(
+            {
+                "testbed": "pcie",
+                "cluster": make_fleet().to_dict()["cluster"],
+                "tenants": [{"name": "a", "model": "lstm"}],
+            }
+        )
+    with pytest.raises(ValueError, match="testbed"):
+        FleetSpec.from_dict(
+            {"testbed": "token-ring", "tenants": [{"name": "a", "model": "lstm"}]}
+        )
+    with pytest.raises(ValueError, match="tenants"):
+        FleetSpec.from_dict({"testbed": "pcie", "tenants": []})
+    with pytest.raises(KeyError):
+        make_fleet().tenant("nobody")
+
+
+# -- contention projection: hypothesis properties --------------------------
+
+CLUSTER = nvlink_100g_cluster(2, 2)
+
+loads_strategy = st.lists(
+    st.floats(0.0, CLUSTER.inter_bw, allow_nan=False), min_size=2, max_size=6
+).map(
+    lambda rates: [
+        LinkLoad(
+            tenant=f"t{i}",
+            inter_utilization=rate / CLUSTER.inter_bw,
+            inter_rate=rate,
+            cpu_utilization=0.0,
+        )
+        for i, rate in enumerate(rates)
+    ]
+)
+
+
+@given(loads_strategy)
+@settings(max_examples=200, deadline=None)
+def test_degraded_link_factors_are_mass_conserving(loads):
+    """Whenever the [min_share, 1] clamp is inactive, the bandwidth the
+    projection takes from tenant i, ``(1 - scale_i) * inter_bw``, equals
+    the sum of the other tenants' offered wire bytes/second."""
+    models = contention_models(loads, CLUSTER)
+    for load in loads:
+        cross = math.fsum(
+            other.inter_rate for other in loads if other.tenant != load.tenant
+        )
+        scale = scale_of(models[load.tenant])
+        unclamped = 1.0 - cross / CLUSTER.inter_bw
+        if MIN_BANDWIDTH_SHARE <= unclamped <= 1.0:
+            imposed = (1.0 - scale) * CLUSTER.inter_bw
+            assert math.isclose(imposed, cross, rel_tol=1e-12, abs_tol=1e-3)
+        else:
+            # Clamped: the scale sits exactly on the active bound.
+            expected = min(1.0, max(MIN_BANDWIDTH_SHARE, unclamped))
+            assert scale == expected
+        assert MIN_BANDWIDTH_SHARE <= scale <= 1.0
+
+
+@given(loads_strategy, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_projection_deterministic_across_orderings(loads, rng):
+    """Any permutation of the job list yields bit-identical factors."""
+    reference = contention_models(loads, CLUSTER)
+    shuffled = list(loads)
+    rng.shuffle(shuffled)
+    permuted = contention_models(shuffled, CLUSTER)
+    assert set(permuted) == set(reference)
+    for name in reference:
+        assert scale_of(permuted[name]) == scale_of(reference[name])
+        assert stolen_of(permuted[name]) == stolen_of(reference[name])
+
+
+def test_projection_deterministic_exhaustive_permutations():
+    """Exact-equality determinism over every ordering of a real fleet's
+    loads (not just sampled shuffles)."""
+    fleet = make_fleet()
+    jobs = fleet.jobs()
+    loads = []
+    for name in sorted(jobs):
+        strategy = baseline_strategy(jobs[name].model.num_tensors)
+        timeline = StrategyEvaluator(jobs[name]).timeline(strategy)
+        loads.append(link_load(name, jobs[name], timeline))
+    reference = contention_models(loads, fleet.cluster)
+    for permutation in itertools.permutations(loads):
+        models = contention_models(list(permutation), fleet.cluster)
+        for name in reference:
+            assert scale_of(models[name]) == scale_of(reference[name])
+
+
+def test_real_fleet_mass_conservation():
+    """With real simulated timelines: the cross-traffic imposed on each
+    tenant equals the sum of the other jobs' wire bytes per second."""
+    fleet = make_fleet(testbed="pcie")
+    jobs = fleet.jobs()
+    loads = {}
+    for name in sorted(jobs):
+        strategy = baseline_strategy(jobs[name].model.num_tensors)
+        timeline = StrategyEvaluator(jobs[name]).timeline(strategy)
+        loads[name] = link_load(name, jobs[name], timeline)
+        # Busy fraction of a capacity-1 link is a fraction.
+        assert 0.0 <= loads[name].inter_utilization <= 1.0
+        assert loads[name].inter_rate <= fleet.cluster.inter_bw
+    models = contention_models(list(loads.values()), fleet.cluster)
+    for name, load in loads.items():
+        cross = math.fsum(
+            other.inter_rate
+            for other_name, other in loads.items()
+            if other_name != name
+        )
+        scale = scale_of(models[name])
+        unclamped = 1.0 - cross / fleet.cluster.inter_bw
+        if MIN_BANDWIDTH_SHARE <= unclamped <= 1.0:
+            assert math.isclose(
+                (1.0 - scale) * fleet.cluster.inter_bw,
+                cross,
+                rel_tol=1e-12,
+                abs_tol=1e-3,
+            )
+
+
+def test_contention_models_validation():
+    load = LinkLoad("a", 0.5, 1.0, 0.0)
+    with pytest.raises(ValueError, match="min_share"):
+        contention_models([load], CLUSTER, min_share=0.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        contention_models([load, load], CLUSTER)
+
+
+def test_cpu_contention_steals_whole_workers():
+    loads = [
+        LinkLoad("a", 0.0, 0.0, 0.9),
+        LinkLoad("b", 0.0, 0.0, 0.8),
+        LinkLoad("c", 0.0, 0.0, 0.4),
+    ]
+    models = contention_models(loads, CLUSTER)
+    # a sees floor(0.8 + 0.4) = 1 stolen worker, c floor(0.9 + 0.8) = 1.
+    assert stolen_of(models["a"]) == 1
+    assert stolen_of(models["b"]) == 1
+    assert stolen_of(models["c"]) == 1
+    # No wire traffic: no DegradedLink fault.
+    assert scale_of(models["a"]) == 1.0
+
+
+def test_link_load_rejects_degenerate_iteration():
+    import dataclasses
+
+    fleet = make_fleet()
+    job = fleet.tenants[0].job(fleet.cluster)
+    timeline = StrategyEvaluator(job).timeline(
+        baseline_strategy(job.model.num_tensors)
+    )
+    broken = dataclasses.replace(
+        timeline, makespan=-(job.model.forward_time + 1.0)
+    )
+    with pytest.raises(ValueError, match="non-positive"):
+        link_load("a", job, broken)

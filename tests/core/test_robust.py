@@ -9,6 +9,7 @@ from repro.core.robust import (
     CVAR,
     WORST_CASE,
     DegradationTable,
+    ReplanLedger,
     cvar,
     robust_select,
     sensitivity_sweep,
@@ -188,3 +189,87 @@ def test_replan_for_known_state_matches_table_entry():
         result = table.replan(fault_model, budget_seconds=0.0)
         entry = table.lookup(fault_model.name)
         assert result.iteration_time <= entry.iteration_time + 1e-12
+
+
+# -- cumulative replan budget (ReplanLedger) -------------------------------
+
+
+def test_replan_ledger_validation():
+    with pytest.raises(ValueError, match="total_seconds"):
+        ReplanLedger(total_seconds=0.0)
+    ledger = ReplanLedger(total_seconds=1.0)
+    with pytest.raises(ValueError):
+        ledger.charge(-0.1)
+    ledger.charge(0.4)
+    assert ledger.remaining() == pytest.approx(0.6)
+    assert not ledger.exhausted
+    ledger.charge(2.0)
+    assert ledger.remaining() == 0.0
+    assert ledger.exhausted
+    assert ledger.events == 2
+
+
+def test_replan_ledger_caps_back_to_back_membership_storm():
+    """Regression for the replan budget accounting: ``budget_seconds``
+    alone is per-event, so a storm of back-to-back membership faults
+    historically spent ``events x budget`` in full planner runs.  A
+    shared ledger makes the budget cumulative: once the remainder drops
+    below the table's worst plan time, later replans stop running the
+    full planner but still answer from the precomputed pool."""
+    from repro.training.elastic import membership_model
+
+    job = make_job("lstm", "pcie")
+    table = DegradationTable.build(job)
+    storm = [membership_model(3 if i % 2 == 0 else 4) for i in range(6)]
+
+    # Without a ledger every event pays full price — the old behaviour.
+    unledgered = [table.replan(fm, budget_seconds=60.0) for fm in storm]
+    assert all(r.used_full_planner for r in unledgered)
+
+    ledger = ReplanLedger(total_seconds=2.5 * table.max_plan_seconds)
+    results = []
+    for fault_model in storm:
+        results.append(
+            table.replan(fault_model, budget_seconds=60.0, ledger=ledger)
+        )
+
+    # Early events still afford the full planner...
+    assert results[0].used_full_planner
+    # ...but the cumulative cap kicks in before the storm ends.
+    assert not results[-1].used_full_planner
+    assert any(not r.used_full_planner for r in results)
+    # Every replan still answers, never silently stale.
+    for result in results:
+        assert result.strategy is not None
+        assert result.iteration_time > 0.0
+        assert result.source.startswith(
+            ("table:", "portfolio:", "full-plan")
+        )
+        # The effective budget never exceeds the per-event one.
+        assert result.budget_seconds <= 60.0
+    # The accounting is exact: every call charged its wall-clock.
+    assert ledger.events == len(storm)
+    assert ledger.spent_seconds == pytest.approx(
+        sum(r.seconds for r in results)
+    )
+    # Total spend is bounded by the ledger plus one in-flight replan,
+    # not by events x budget.
+    assert ledger.spent_seconds < ledger.total_seconds + max(
+        r.seconds for r in results
+    )
+
+
+def test_replan_exhausted_ledger_flags_over_budget():
+    from repro.training.elastic import membership_model
+
+    job = make_job("lstm", "pcie")
+    table = DegradationTable.build(job)
+    ledger = ReplanLedger(total_seconds=1e-9)
+    result = table.replan(
+        membership_model(3), budget_seconds=60.0, ledger=ledger
+    )
+    # Still answers from the precomputed pool...
+    assert result.strategy is not None
+    assert not result.used_full_planner
+    # ...but reports the blown budget so callers degrade explicitly.
+    assert not result.within_budget

@@ -382,3 +382,77 @@ def test_chaos_command_sigkill_mode(tmp_path, capsys):
     assert "[sigkill]" in out
     assert "EQUIVALENT" in out
     assert (tmp_path / "report.json").exists()
+
+
+def test_fleet_command_with_mix(capsys):
+    assert main(["fleet", "--mix", "lstm-pair", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet plan: 2 tenants" in out
+    assert "aggregate throughput:" in out
+    assert "worst tenant slowdown" in out
+    assert "contended timelines checked, 0 violations" in out
+
+
+def test_fleet_command_inline_tenants(capsys):
+    assert main([
+        "fleet", "--tenant", "a:lstm:dgc:0.01", "--tenant", "b:lstm:fp16",
+        "--testbed", "nvlink", "--machines", "2", "--gpus", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet plan: 2 tenants" in out
+    assert "a:" in out and "b:" in out
+
+
+def test_fleet_command_from_config(tmp_path, capsys):
+    from repro.cluster import nvlink_100g_cluster
+    from repro.cluster.tenancy import FleetSpec, TenantSpec, save_fleet
+
+    fleet = FleetSpec(
+        cluster=nvlink_100g_cluster(num_machines=2, gpus_per_machine=2),
+        tenants=(
+            TenantSpec(name="a", model="lstm", gc="dgc", ratio=0.01),
+            TenantSpec(name="b", model="lstm", gc="efsignsgd"),
+        ),
+    )
+    save_fleet(fleet, tmp_path / "fleet.json")
+    assert main(["fleet", "--config", str(tmp_path / "fleet.json")]) == 0
+    assert "Fleet plan: 2 tenants" in capsys.readouterr().out
+
+
+def test_fleet_jobs_flag_prints_serial_note_on_small_hosts(capsys):
+    import os
+
+    assert main(["fleet", "--mix", "lstm-pair", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    if (os.cpu_count() or 1) < 2:
+        assert "ran serially" in out
+    else:
+        assert "ran serially" not in out
+
+
+def test_fleet_malformed_configs_exit_2(tmp_path, capsys):
+    # Missing file.
+    assert main(["fleet", "--config", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+    # Unknown key in the fleet config.
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        '{"testbed": "nvlink", "tenants": '
+        '[{"name": "a", "model": "lstm"}], "surprise": 1}'
+    )
+    assert main(["fleet", "--config", str(bad)]) == 2
+    assert "surprise" in capsys.readouterr().err
+    # Malformed inline tenant spec.
+    assert main(["fleet", "--tenant", "bad"]) == 2
+    assert "NAME:MODEL:GC" in capsys.readouterr().err
+    # Bad compressor ratio surfaces before planning.
+    assert main(["fleet", "--tenant", "a:lstm:dgc:7.0",
+                 "--tenant", "b:lstm:fp16"]) == 2
+    assert "ratio" in capsys.readouterr().err
+    # Exactly one source of tenants.
+    assert main(["fleet"]) == 2
+    assert main(["fleet", "--mix", "lstm-pair",
+                 "--tenant", "a:lstm:fp16"]) == 2
+    # Bad round cap.
+    assert main(["fleet", "--mix", "lstm-pair", "--max-rounds", "0"]) == 2
+    assert "--max-rounds" in capsys.readouterr().err
